@@ -1,0 +1,88 @@
+"""E11 — Section 6: centralized preprocessing cost.
+
+The paper notes tables can be computed centrally in time proportional
+to all-pairs shortest paths.  This experiment times each stage of the
+pipeline (APSP oracle, metric, substrate, scheme tables) so the
+dominant term is visible, and uses pytest-benchmark's statistics on
+the full stretch-6 build.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import banner
+
+from repro.analysis.experiments import Instance
+from repro.graph.generators import random_strongly_connected
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import random_naming
+from repro.rtz.routing import RTZStretch3
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+def test_pipeline_stage_times(benchmark):
+    n = 64
+    g = random_strongly_connected(n, rng=random.Random(1))
+    stages = {}
+
+    def run():
+        t0 = time.perf_counter()
+        oracle = DistanceOracle(g)
+        t1 = time.perf_counter()
+        naming = random_naming(n, random.Random(2))
+        metric = RoundtripMetric(oracle, ids=naming.all_names())
+        for v in range(n):
+            metric.init_order(v)
+        t2 = time.perf_counter()
+        rtz = RTZStretch3(metric, random.Random(3))
+        t3 = time.perf_counter()
+        StretchSixScheme(metric, naming, substrate=rtz)
+        t4 = time.perf_counter()
+        stages["apsp oracle"] = t1 - t0
+        stages["metric + orders"] = t2 - t1
+        stages["rtz substrate"] = t3 - t2
+        stages["stretch6 tables"] = t4 - t3
+        return stages
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E11 / Section 6 - preprocessing stage times (n=64)")
+    total = sum(stages.values())
+    for label, secs in stages.items():
+        print(f"  {label:<18}: {secs * 1000:8.1f} ms "
+              f"({100 * secs / total:4.1f}%)")
+    print(f"  {'total':<18}: {total * 1000:8.1f} ms")
+
+
+def test_stretch6_build_benchmark(benchmark):
+    """pytest-benchmark statistics for the full scheme build."""
+    g = random_strongly_connected(36, rng=random.Random(4))
+    inst = Instance.prepare(g, seed=5)
+
+    def build():
+        return StretchSixScheme(
+            inst.metric, inst.naming, rng=random.Random(6)
+        )
+
+    scheme = benchmark(build)
+    assert scheme.max_table_entries() > 0
+
+
+def test_apsp_scaling(benchmark):
+    """Construction is APSP-dominated: time the oracle across n."""
+    rows = []
+
+    def run():
+        for n in (32, 64, 128):
+            g = random_strongly_connected(n, rng=random.Random(n))
+            t0 = time.perf_counter()
+            DistanceOracle(g)
+            rows.append((n, time.perf_counter() - t0))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E11b - APSP oracle scaling")
+    for (n, secs) in rows:
+        print(f"  n={n:>4}: {secs * 1000:7.1f} ms")

@@ -1,0 +1,103 @@
+"""E14 — Section 6 (open problem): distributed table construction.
+
+The paper leaves distributed construction open and notes centralized
+construction is APSP-class.  Our message-passing simulation makes the
+distributed cost concrete: rounds and messages per phase, verified to
+compute exactly the centralized knowledge.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import banner
+
+from repro.distributed.dynamic import DynamicMaintenance
+from repro.distributed.preprocessing import DistributedPreprocessing
+from repro.graph.generators import random_strongly_connected
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import random_naming
+
+
+def test_distributed_phase_costs(benchmark):
+    g = random_strongly_connected(24, rng=random.Random(1))
+    naming = random_naming(24, random.Random(2))
+
+    def run():
+        return DistributedPreprocessing(g, naming, seed=3)
+
+    prep = benchmark.pedantic(run, rounds=1, iterations=1)
+    oracle = DistanceOracle(g)
+    prep.verify_against_oracle(oracle)
+    prep.verify_cluster_decisions(oracle)
+    banner("E14 / Section 6 - distributed construction (n=24, m="
+           f"{g.m})")
+    print(f"{'phase':<18} {'rounds':>7} {'messages':>10}")
+    for label, cost in prep.costs.items():
+        print(f"{label:<18} {cost.rounds:>7} {cost.messages:>10}")
+    print(f"{'total':<18} {prep.total_rounds():>7} "
+          f"{prep.total_messages():>10}")
+    print("verified: distances, next hops, cluster decisions, tree")
+    print("addresses all equal the centralized construction's inputs")
+
+
+def test_distributed_message_scaling(benchmark):
+    rows = []
+
+    def run():
+        for n in (12, 24, 48):
+            g = random_strongly_connected(n, rng=random.Random(n))
+            naming = random_naming(n, random.Random(n + 1))
+            prep = DistributedPreprocessing(g, naming, seed=n + 2)
+            rows.append(
+                (n, g.m, prep.total_rounds(), prep.total_messages())
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E14b - distributed construction scaling")
+    print(f"{'n':>5} {'m':>5} {'rounds':>7} {'messages':>10} "
+          f"{'msgs/(n*m)':>11}")
+    for (n, m, rounds, msgs) in rows:
+        print(f"{n:>5} {m:>5} {rounds:>7} {msgs:>10} "
+              f"{msgs / (n * m):>11.1f}")
+    # the honest shape of the naive protocol: Theta(n * m)-class
+    (n0, m0, _r0, s0), (n1, m1, _r1, s1) = rows[0], rows[-1]
+    assert s1 / s0 > 0.25 * (n1 * m1) / (n0 * m0)
+
+
+def test_dynamic_update_cost(benchmark):
+    """E14c — maintenance after one edge-weight change: how much of
+    the table state is actually touched (the Section 6 dynamics)."""
+    import random as _random
+
+    g = random_strongly_connected(24, rng=_random.Random(5))
+    naming = random_naming(24, _random.Random(6))
+    results = {}
+
+    def run():
+        prep = DistributedPreprocessing(g, naming, seed=7)
+        build_messages = prep.total_messages()
+        maint = DynamicMaintenance(prep)
+        edge = _random.Random(8).choice(list(g.edges()))
+        new_g, report = maint.update_edge_weight(
+            edge.tail, edge.head, edge.weight * 3
+        )
+        maint.verify(DistanceOracle(new_g))
+        results["build_messages"] = build_messages
+        results["update"] = report
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report = results["update"]
+    banner("E14c / Section 6 - one edge-weight update (n=24)")
+    total_entries = 2 * 24 * 24
+    print(f"repair rounds              : {report.rounds}")
+    print(f"repair messages            : {report.messages}")
+    print(f"distance entries changed   : {report.dist_entries_changed} "
+          f"of {total_entries}")
+    print(f"neighborhoods changed      : "
+          f"{report.nodes_with_changed_neighborhood} of 24 nodes")
+    print(f"node names changed         : {report.names_changed} "
+          "(the TINN promise)")
+    assert report.names_changed == 0

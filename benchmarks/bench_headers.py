@@ -1,0 +1,114 @@
+"""E8 — Section 1.1.4: header budgets.
+
+Fresh packets carry names only; headers grow as routing information is
+learned, but must stay within O(log^2 n) (stretch-6) and o(k log^2 n)
+(ExStretch's stack).  This experiment sweeps n and reports the worst
+observed header against the budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import banner
+
+from repro.analysis.experiments import Instance
+from repro.graph.generators import random_strongly_connected
+from repro.runtime.sizing import header_bits, log2_squared
+from repro.runtime.stats import measure_stretch
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+def test_header_growth_sweep(benchmark):
+    sizes = [16, 36, 64]
+    rows = []
+
+    def run():
+        for n in sizes:
+            g = random_strongly_connected(n, rng=random.Random(n))
+            inst = Instance.prepare(g, seed=n + 1)
+            s6 = StretchSixScheme(
+                inst.metric, inst.naming, rng=random.Random(n + 2)
+            )
+            ex = ExStretchScheme(
+                inst.metric, inst.naming, k=2, rng=random.Random(n + 3)
+            )
+            rep6 = measure_stretch(
+                s6, inst.oracle, sample=120, rng=random.Random(1)
+            )
+            repx = measure_stretch(
+                ex, inst.oracle, sample=120, rng=random.Random(2)
+            )
+            fresh = header_bits(s6.new_packet_header(0), n)
+            rows.append((n, fresh, rep6.max_header_bits, repx.max_header_bits))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E8 / Section 1.1.4 - header bits vs the log^2 budget")
+    print(f"{'n':>6} {'fresh':>6} {'stretch6':>9} {'exstretch':>10} "
+          f"{'log2(n)^2':>10}")
+    for (n, fresh, h6, hx) in rows:
+        budget = log2_squared(n)
+        print(f"{n:>6} {fresh:>6} {h6:>9} {hx:>10} {budget:>10.0f}")
+        # fresh packets are name-only: O(log n) bits
+        assert fresh <= 3 * (n - 1).bit_length() + 8
+        assert h6 <= 8 * budget
+        assert hx <= 16 * budget  # k=2 stack
+
+
+def test_real_wire_encoding(benchmark):
+    """E8c — the codec's *actual* encoded header sizes (not the
+    accounting estimate) against the log^2 budget."""
+    from repro.runtime.codec import HeaderCodec
+    from repro.runtime.scheme import Forward
+    from repro.runtime.simulator import Simulator
+
+    g = random_strongly_connected(48, rng=random.Random(21))
+    inst = Instance.prepare(g, seed=22)
+    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(23))
+    codec = HeaderCodec(48)
+
+    def run():
+        captured = []
+        real_forward = scheme.forward
+
+        def tap(at, header):
+            decision = real_forward(at, header)
+            if isinstance(decision, Forward):
+                captured.append(codec.encoded_bits(decision.header))
+            return decision
+
+        scheme.forward = tap  # type: ignore[method-assign]
+        sim = Simulator(scheme)
+        for t in range(1, 48, 3):
+            sim.roundtrip(0, inst.naming.name_of(t))
+        scheme.forward = real_forward  # type: ignore[method-assign]
+        return captured
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E8c - real wire encoding of live headers (stretch-6, n=48)")
+    print(f"headers encoded : {len(sizes)}")
+    print(f"max bits        : {max(sizes)}")
+    print(f"mean bits       : {sum(sizes) / len(sizes):.0f}")
+    print(f"log2(n)^2       : {log2_squared(48):.0f}")
+    assert max(sizes) <= 12 * log2_squared(48)
+
+
+def test_headers_monotone_reasonable(benchmark):
+    """Headers must never explode mid-route (every hop re-measured)."""
+    g = random_strongly_connected(36, rng=random.Random(9))
+    inst = Instance.prepare(g, seed=10)
+    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(11))
+
+    def run():
+        rep = measure_stretch(
+            scheme, inst.oracle, sample=200, rng=random.Random(12)
+        )
+        return rep.max_header_bits
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E8b - worst mid-route header (stretch-6, n=36)")
+    print(f"max header anywhere: {worst} bits "
+          f"(budget ~ {8 * log2_squared(36):.0f})")
+    assert worst <= 8 * log2_squared(36)

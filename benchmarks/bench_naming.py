@@ -1,0 +1,64 @@
+"""E10 — Section 1.1.2 / [4]: the universal-hash name reduction.
+
+Sweeps name-universe sizes and node counts, reporting collision counts
+and the maximum bucket load (the table blow-up factor, which the paper
+claims is constant).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import banner
+
+from repro.naming.hashing import HashedNaming, random_wild_names
+
+
+def test_hash_reduction_sweep(benchmark):
+    rows = []
+
+    def run():
+        for n in (64, 256, 1024):
+            for bits in (32, 48, 64):
+                rng = random.Random(n + bits)
+                wild = random_wild_names(n, 2 ** bits, rng)
+                hashed = HashedNaming(wild, 2 ** bits, rng)
+                rows.append(
+                    (n, bits, hashed.max_load(), hashed.collision_count(),
+                     hashed.occupied_slots())
+                )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E10 / Section 1.1.2 - universal-hash name reduction")
+    print(f"{'n':>6} {'universe':>9} {'max load':>9} {'collisions':>11} "
+          f"{'slots used':>11}")
+    for (n, bits, load, coll, slots) in rows:
+        print(f"{n:>6} {'2^' + str(bits):>9} {load:>9} {coll:>11} "
+              f"{slots:>11}")
+        assert load <= 8  # constant table blow-up
+        # birthday regime: collisions stay linear-ish in n
+        assert coll <= 2 * n
+
+
+def test_adversarial_then_hash(benchmark):
+    """Footnote 5: drawing the hash after the adversary fixes names
+    defeats clustered / structured name choices."""
+    adversarial_sets = {
+        "sequential": list(range(512)),
+        "strided": [i * 4096 for i in range(512)],
+        "low-bits-equal": [i << 16 for i in range(512)],
+    }
+    results = {}
+
+    def run():
+        for label, wild in adversarial_sets.items():
+            hashed = HashedNaming(wild, 2 ** 40, random.Random(7))
+            results[label] = hashed.max_load()
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E10b / footnote 5 - adversarial name sets")
+    for label, load in results.items():
+        print(f"  {label:<16}: max bucket {load}")
+        assert load <= 8

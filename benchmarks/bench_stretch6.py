@@ -1,0 +1,92 @@
+"""E2 — Lemma 3: the stretch-6 scheme's bound and table shape.
+
+Measures the full all-pairs stretch distribution of the Section 2
+scheme, asserts the stretch-6 bound (and stretch-3 for in-neighborhood
+destinations), and sweeps table sizes against the ``sqrt(n)`` shape.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from conftest import banner, cached_instance
+
+from repro.analysis.experiments import (
+    Instance,
+    log_log_slope,
+    table_scaling,
+)
+from repro.analysis.stretch import stretch_distribution
+from repro.graph.generators import random_strongly_connected
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import measure_tables
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+def test_stretch6_distribution(benchmark):
+    inst = cached_instance("random", 48, seed=0)
+    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(1))
+
+    dist = benchmark.pedantic(
+        lambda: stretch_distribution(scheme, inst.oracle),
+        rounds=1,
+        iterations=1,
+    )
+    banner("E2 / Lemma 3 - stretch-6 all-pairs distribution (n=48)")
+    print(f"pairs measured      : {len(dist.samples)}")
+    print(f"max stretch         : {dist.max():.3f}   (paper bound 6.0)")
+    print(f"mean stretch        : {dist.mean():.3f}")
+    print(f"p50 / p90 / p99     : {dist.percentile(50):.2f} / "
+          f"{dist.percentile(90):.2f} / {dist.percentile(99):.2f}")
+    print(f"within stretch 3    : {100 * dist.fraction_at_most(3.0):.1f}% of pairs")
+    print("histogram           :", dist.histogram([1.0, 1.5, 2.0, 3.0, 6.0]))
+    assert dist.max() <= 6.0 + 1e-9
+
+
+def test_stretch6_neighborhood_case(benchmark):
+    """Near destinations (t in N(s)) must see stretch <= 3."""
+    inst = cached_instance("random", 48, seed=0)
+    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(2))
+    sim = Simulator(scheme)
+
+    def run():
+        worst = 0.0
+        for s in range(inst.graph.n):
+            for t in inst.metric.sqrt_neighborhood(s):
+                if t == s:
+                    continue
+                trace = sim.roundtrip(s, inst.naming.name_of(t))
+                worst = max(worst, trace.total_cost / inst.oracle.r(s, t))
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E2b / Lemma 3 case 1 - in-neighborhood destinations")
+    print(f"worst in-neighborhood stretch: {worst:.3f} (paper bound 3.0)")
+    assert worst <= 3.0 + 1e-9
+
+
+def test_stretch6_table_scaling(benchmark):
+    sizes = [16, 36, 64, 100]
+
+    def family(n, rng):
+        return random_strongly_connected(n, rng=rng)
+
+    def build(inst: Instance, rng: random.Random):
+        return StretchSixScheme(inst.metric, inst.naming, rng=rng)
+
+    points = benchmark.pedantic(
+        lambda: table_scaling(family, sizes, build, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    banner("E2c / Section 2.1 - table size vs n (sqrt shape)")
+    print(f"{'n':>6} {'max rows':>9} {'mean rows':>10} {'rows/sqrt(n)':>13}")
+    for p in points:
+        print(
+            f"{p.n:>6} {p.max_entries:>9} {p.mean_entries:>10.1f} "
+            f"{p.max_entries / math.sqrt(p.n):>13.1f}"
+        )
+    slope = log_log_slope(points)
+    print(f"log-log slope: {slope:.2f}  (1.0 = linear, 0.5 = sqrt)")
+    assert slope < 0.95  # strictly sublinear growth

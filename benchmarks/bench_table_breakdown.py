@@ -1,0 +1,41 @@
+"""E15 — the space-analysis itemizations of §2.1 / §3.3 / §4.1.
+
+Prints each TINN scheme's table composition exactly as the paper's
+space arguments itemize it, so the per-layer budgets can be eyeballed
+against the aggregate `~O(.)` claims.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import banner, cached_instance
+
+from repro.analysis.tables import breakdown
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+def test_breakdowns(benchmark):
+    inst = cached_instance("random", 48, seed=0)
+    results = {}
+
+    def run():
+        results["stretch-6 (§2.1)"] = breakdown(
+            StretchSixScheme(inst.metric, inst.naming, rng=random.Random(1))
+        )
+        results["exstretch k=2 (§3.3)"] = breakdown(
+            ExStretchScheme(inst.metric, inst.naming, k=2, rng=random.Random(2))
+        )
+        results["polystretch k=2 (§4.1)"] = breakdown(
+            PolynomialStretchScheme(inst.metric, inst.naming, k=2)
+        )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("E15 - table composition per scheme (n=48)")
+    for label, b in results.items():
+        print(f"\n--- {label} ---")
+        print(b.format(48))
+        assert b.total() > 0

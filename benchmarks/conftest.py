@@ -1,0 +1,67 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Each benchmark module regenerates one experiment from DESIGN.md's
+index (E1-E13): it prints the paper-style rows, asserts the paper's
+inequalities, and times the dominant kernel with pytest-benchmark.
+
+Graphs and schemes are cached per session: the experiments intentionally
+share instances so the printed tables are mutually comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.analysis.experiments import Instance
+from repro.graph.digraph import Digraph
+from repro.graph.generators import (
+    bidirected_torus,
+    directed_cycle,
+    random_dht_overlay,
+    random_strongly_connected,
+)
+
+_INSTANCE_CACHE: Dict[Tuple[str, int], Instance] = {}
+
+
+def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:
+    """Session-cached experiment instance of one family/size."""
+    key = (kind, n)
+    if key not in _INSTANCE_CACHE:
+        rng = random.Random(seed + n)
+        if kind == "random":
+            g = random_strongly_connected(n, rng=rng)
+        elif kind == "cycle":
+            g = directed_cycle(n, rng=rng)
+        elif kind == "torus":
+            side = max(2, int(round(n ** 0.5)))
+            g = bidirected_torus(side, side, rng=rng)
+        elif kind == "dht":
+            g = random_dht_overlay(n, rng=rng)
+        else:
+            raise ValueError(f"unknown family {kind}")
+        _INSTANCE_CACHE[key] = Instance.prepare(g, seed=seed + n + 1)
+    return _INSTANCE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def bench_instance() -> Instance:
+    """The default medium instance shared by most benchmarks."""
+    return cached_instance("random", 64, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_instance() -> Instance:
+    """A small instance for quadratic-cost experiments."""
+    return cached_instance("random", 32, seed=0)
+
+
+def banner(title: str) -> None:
+    """Print an experiment banner that survives pytest -s capture."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

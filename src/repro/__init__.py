@@ -1,0 +1,110 @@
+"""Compact roundtrip routing with topology-independent node names.
+
+A full reproduction of Arias, Cowen & Laing (PODC 2003 / JCSS 2008):
+the stretch-6 TINN scheme, the ExStretch and PolynomialStretch
+tradeoff schemes, every substrate they rely on (roundtrip metric,
+distributed dictionaries, sparse double-tree covers, the RTZ
+name-dependent substrate), baselines, and the Theorem 15 lower-bound
+machinery.
+
+Quick start::
+
+    import random
+    from repro import (
+        Instance, StretchSixScheme, Simulator, random_strongly_connected,
+    )
+
+    g = random_strongly_connected(64, rng=random.Random(0))
+    inst = Instance.prepare(g, seed=1)
+    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(2))
+    trace = Simulator(scheme).roundtrip(0, inst.naming.name_of(9))
+    print(trace.total_cost / inst.oracle.r(0, 9))  # <= 6
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.analysis.experiments import (
+    Instance,
+    fig1_comparison,
+    format_rows,
+)
+from repro.analysis.stretch import stretch_distribution
+from repro.analysis.tables import breakdown
+from repro.covers.hierarchy import TreeHierarchy
+from repro.distributed.dynamic import DynamicMaintenance
+from repro.distributed.preprocessing import DistributedPreprocessing
+from repro.covers.sparse_cover import DoubleTreeCover, cover
+from repro.dictionary.distribution import BlockDistribution
+from repro.graph.digraph import Digraph, from_edge_list
+from repro.graph.generators import (
+    asymmetric_torus,
+    bidirected_torus,
+    directed_cycle,
+    random_dht_overlay,
+    random_strongly_connected,
+    standard_families,
+)
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.hashing import HashedNaming, random_wild_names
+from repro.naming.permutation import Naming, identity_naming, random_naming
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import measure_stretch, measure_tables
+from repro.rtz.routing import RTZStretch3
+from repro.rtz.spanner import HandshakeSpanner
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.rtz_baseline import RTZBaselineScheme
+from repro.schemes.shortest_path import ShortestPathScheme
+from repro.schemes.stretch6 import StretchSixScheme
+from repro.schemes.wild_names import WildNameStretchSix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "Digraph",
+    "from_edge_list",
+    "DistanceOracle",
+    "RoundtripMetric",
+    "random_strongly_connected",
+    "directed_cycle",
+    "bidirected_torus",
+    "asymmetric_torus",
+    "random_dht_overlay",
+    "standard_families",
+    # naming
+    "Naming",
+    "identity_naming",
+    "random_naming",
+    "HashedNaming",
+    "random_wild_names",
+    # substrates
+    "BlockDistribution",
+    "DoubleTreeCover",
+    "TreeHierarchy",
+    "cover",
+    "RTZStretch3",
+    "HandshakeSpanner",
+    # schemes
+    "StretchSixScheme",
+    "ExStretchScheme",
+    "PolynomialStretchScheme",
+    "RTZBaselineScheme",
+    "ShortestPathScheme",
+    # runtime & analysis
+    "Simulator",
+    "measure_stretch",
+    "measure_tables",
+    "Instance",
+    "fig1_comparison",
+    "format_rows",
+    "stretch_distribution",
+    "breakdown",
+    # extensions
+    "WildNameStretchSix",
+    "DistributedPreprocessing",
+    "DynamicMaintenance",
+]

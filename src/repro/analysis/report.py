@@ -1,0 +1,124 @@
+"""One-shot reproduction report generator.
+
+``generate_report`` runs a compact version of the experiment suite on
+a given graph and renders a markdown report with claimed-vs-measured
+rows — the programmatic counterpart of EXPERIMENTS.md, usable from the
+CLI (``python -m repro.cli report``) or from notebooks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.analysis.experiments import (
+    Instance,
+    assert_rows_sound,
+    fig1_comparison,
+    format_rows,
+)
+from repro.analysis.stretch import stretch_distribution
+from repro.covers.sparse_cover import DoubleTreeCover
+from repro.dictionary.distribution import BlockDistribution
+from repro.graph.digraph import Digraph
+from repro.naming.blocks import BlockSpace
+from repro.rtz.routing import RTZStretch3
+from repro.runtime.sizing import log2_squared
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+def generate_report(
+    graph: Digraph,
+    seed: int = 0,
+    sample_pairs: int = 200,
+    k: int = 2,
+) -> str:
+    """Run the headline experiments and render a markdown report.
+
+    Args:
+        graph: workload graph (frozen, strongly connected).
+        seed: controls naming/scheme randomness.
+        sample_pairs: pairs sampled per stretch measurement.
+        k: tradeoff parameter for the generalized schemes.
+
+    Returns:
+        Markdown text; every claimed inequality is asserted before the
+        text is returned, so a returned report certifies the run.
+    """
+    lines: List[str] = []
+    n = graph.n
+    lines.append("# Reproduction report")
+    lines.append("")
+    lines.append(
+        f"Graph: n={n}, m={graph.m}; seed={seed}; "
+        f"{sample_pairs} sampled pairs per measurement."
+    )
+    lines.append("")
+
+    # Fig. 1
+    rows = fig1_comparison(graph, seed=seed, sample_pairs=sample_pairs, k=k)
+    assert_rows_sound(rows)
+    lines.append("## Fig. 1 — claimed vs measured")
+    lines.append("")
+    lines.append("```")
+    lines.append(format_rows(rows))
+    lines.append("```")
+    lines.append("")
+
+    inst = Instance.prepare(graph, seed=seed)
+
+    # Lemma 3 distribution
+    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(seed))
+    dist = stretch_distribution(
+        scheme, inst.oracle, sample=sample_pairs, rng=random.Random(seed + 1)
+    )
+    assert dist.max() <= 6.0 + 1e-9
+    lines.append("## Lemma 3 — stretch-6 distribution")
+    lines.append("")
+    lines.append(
+        f"max {dist.max():.2f} (bound 6), mean {dist.mean():.2f}, "
+        f"p90 {dist.percentile(90):.2f}; "
+        f"{100 * dist.fraction_at_most(3.0):.0f}% of pairs within 3."
+    )
+    lines.append("")
+
+    # Lemma 1/4
+    bd = BlockDistribution(inst.metric, BlockSpace(n, k), random.Random(seed))
+    bd.verify()
+    lines.append("## Lemmas 1/4 — block distribution")
+    lines.append("")
+    lines.append(
+        f"max |S_v| = {bd.max_blocks_per_node()} "
+        f"(budget {bd.per_node_bound()}), patches {bd.patches_applied}; "
+        "coverage verified exhaustively."
+    )
+    lines.append("")
+
+    # Theorem 13
+    scale = max(2.0, inst.oracle.rt_diameter() / 4)
+    dtc = DoubleTreeCover(inst.metric, k, scale)
+    dtc.verify()
+    worst_height = max(t.rt_height() for t in dtc.trees)
+    lines.append("## Theorem 13 — double-tree cover")
+    lines.append("")
+    lines.append(
+        f"scale {scale:.0f}: {len(dtc.trees)} trees, max height "
+        f"{worst_height:.1f} (bound {dtc.height_bound():.1f}), max load "
+        f"{dtc.max_vertex_load()} (bound {dtc.load_bound()})."
+    )
+    lines.append("")
+
+    # Lemma 2 substrate
+    rtz = RTZStretch3(inst.metric, random.Random(seed + 2))
+    max_tab = max(rtz.table_entries(u) for u in range(n))
+    lines.append("## Lemma 2 — substrate tables")
+    lines.append("")
+    lines.append(
+        f"|A| = {len(rtz.centers)}, max table rows {max_tab}, "
+        f"header budget log2(n)^2 = {log2_squared(n):.0f} bits."
+    )
+    lines.append("")
+
+    lines.append("All asserted bounds held during report generation.")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Stretch-distribution analysis beyond the max/mean summary.
+
+Used by benchmarks and examples that want the full shape of the
+stretch distribution (percentiles, histograms, per-pair records) — the
+paper's bounds are worst-case, and the measured distributions show how
+far typical routes sit below them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.shortest_paths import DistanceOracle
+from repro.runtime.scheme import RoutingScheme
+from repro.runtime.simulator import Simulator
+
+
+@dataclass
+class StretchDistribution:
+    """Full per-pair stretch records.
+
+    Attributes:
+        samples: ``(source, dest, stretch)`` per measured pair.
+    """
+
+    samples: List[Tuple[int, int, float]]
+
+    def values(self) -> List[float]:
+        """All stretch values."""
+        return [s for (_u, _v, s) in self.samples]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the stretch values."""
+        values = sorted(self.values())
+        if not values:
+            return 0.0
+        idx = min(len(values) - 1, int(round(q / 100.0 * (len(values) - 1))))
+        return values[idx]
+
+    def max(self) -> float:
+        """Worst stretch."""
+        return max(self.values())
+
+    def mean(self) -> float:
+        """Mean stretch."""
+        vals = self.values()
+        return sum(vals) / len(vals)
+
+    def fraction_at_most(self, bound: float) -> float:
+        """Fraction of pairs with stretch at most ``bound``."""
+        vals = self.values()
+        return sum(1 for v in vals if v <= bound + 1e-12) / len(vals)
+
+    def histogram(self, bins: Sequence[float]) -> Dict[str, int]:
+        """Counts per half-open bin ``[bins[i], bins[i+1})``."""
+        out: Dict[str, int] = {}
+        vals = self.values()
+        for lo, hi in zip(bins, list(bins[1:]) + [float("inf")]):
+            label = f"[{lo:g},{hi:g})"
+            out[label] = sum(1 for v in vals if lo <= v < hi)
+        return out
+
+
+def stretch_distribution(
+    scheme: RoutingScheme,
+    oracle: DistanceOracle,
+    sample: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> StretchDistribution:
+    """Route pairs (all, or a sample) and collect per-pair stretches."""
+    n = oracle.n
+    pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    if sample is not None and sample < len(pairs):
+        rng = rng or random.Random(0)
+        pairs = rng.sample(pairs, sample)
+    sim = Simulator(scheme)
+    samples: List[Tuple[int, int, float]] = []
+    for (s, t) in pairs:
+        trace = sim.roundtrip(s, scheme.name_of(t))
+        samples.append((s, t, trace.total_cost / oracle.r(s, t)))
+    return StretchDistribution(samples)

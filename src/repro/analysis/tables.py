@@ -1,0 +1,131 @@
+"""Table-composition analysis: where each scheme's rows live.
+
+The paper's space accounting (Sections 2.1, 3.3, 4.1) itemizes each
+scheme's storage into layers (neighborhood labels, block pointers,
+dictionary slices, substrate state).  This module recovers that
+itemization from live scheme objects so benchmarks can print the same
+breakdown the paper argues about, per node and in aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.runtime.scheme import RoutingScheme
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+@dataclass
+class TableBreakdown:
+    """Per-layer storage totals for one scheme instance.
+
+    Attributes:
+        layers: layer name -> total rows across all nodes.
+        per_node_max: layer name -> max rows at any single node.
+    """
+
+    layers: Dict[str, int]
+    per_node_max: Dict[str, int]
+
+    def total(self) -> int:
+        """All rows across all layers and nodes."""
+        return sum(self.layers.values())
+
+    def format(self, n: int) -> str:
+        """Render as the table the space-analysis sections imply."""
+        lines = [
+            f"{'layer':<24} {'total rows':>11} {'mean/node':>10} "
+            f"{'max/node':>9}"
+        ]
+        for layer, total in self.layers.items():
+            lines.append(
+                f"{layer:<24} {total:>11} {total / n:>10.1f} "
+                f"{self.per_node_max[layer]:>9}"
+            )
+        lines.append(
+            f"{'TOTAL':<24} {self.total():>11} {self.total() / n:>10.1f}"
+        )
+        return "\n".join(lines)
+
+
+def _collect(per_node: List[Dict[str, int]]) -> TableBreakdown:
+    layers: Dict[str, int] = {}
+    per_node_max: Dict[str, int] = {}
+    for row in per_node:
+        for layer, count in row.items():
+            layers[layer] = layers.get(layer, 0) + count
+            per_node_max[layer] = max(per_node_max.get(layer, 0), count)
+    return TableBreakdown(layers, per_node_max)
+
+
+def breakdown_stretch6(scheme: StretchSixScheme) -> TableBreakdown:
+    """Section 2.1's four storage items, measured."""
+    n = scheme.graph.n
+    rows = []
+    for v in range(n):
+        rows.append(
+            {
+                "(1) neighborhood labels": len(scheme._near[v]),
+                "(2) block pointers": len(scheme._block_ptr[v]),
+                "(3) dictionary slice": len(scheme._dict[v]),
+                "(4) Tab3 substrate": scheme.rtz.table_entries(v),
+            }
+        )
+    return _collect(rows)
+
+
+def breakdown_exstretch(scheme: ExStretchScheme) -> TableBreakdown:
+    """Section 3.3's storage items, measured."""
+    n = scheme.graph.n
+    rows = []
+    for v in range(n):
+        rows.append(
+            {
+                "(1) Tab / tree state": scheme.spanner.table_entries(v),
+                "(2) N_1 handshakes": len(scheme._near[v]),
+                "(3a) prefix rows": len(scheme._rows[v]),
+                "(3b) final rows": len(scheme._final[v]),
+            }
+        )
+    return _collect(rows)
+
+
+def breakdown_polystretch(
+    scheme: PolynomialStretchScheme,
+) -> TableBreakdown:
+    """Section 4.1's storage items, measured."""
+    n = scheme.graph.n
+    rows = []
+    for v in range(n):
+        dict_rows = 0
+        for cov in scheme.hierarchy.levels:
+            for tree in cov.trees_containing(v):
+                dict_rows += len(scheme._rows.get((tree.tree_id, v), {}))
+        rows.append(
+            {
+                "(1) home-tree ids": len(scheme._home_id[v]),
+                "(2) tree state": scheme.hierarchy.table_entries_at(v),
+                "(2c) dictionary rows": dict_rows,
+            }
+        )
+    return _collect(rows)
+
+
+def breakdown(scheme: RoutingScheme) -> TableBreakdown:
+    """Dispatch to the scheme-specific breakdown.
+
+    Raises:
+        TypeError: for schemes without an itemized analysis.
+    """
+    if isinstance(scheme, StretchSixScheme):
+        return breakdown_stretch6(scheme)
+    if isinstance(scheme, ExStretchScheme):
+        return breakdown_exstretch(scheme)
+    if isinstance(scheme, PolynomialStretchScheme):
+        return breakdown_polystretch(scheme)
+    raise TypeError(
+        f"no table breakdown defined for {type(scheme).__name__}"
+    )

@@ -1,0 +1,206 @@
+"""Command-line interface: run the reproduction's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli fig1 --n 48 --seed 3
+    python -m repro.cli stretch --scheme stretch6 --family torus --n 36
+    python -m repro.cli tables --scheme exstretch --n 36 --k 2
+    python -m repro.cli covers --n 36 --k 2 --scale 8
+    python -m repro.cli distributed --n 24
+
+Each subcommand prints the same paper-style rows the benchmark suite
+records in EXPERIMENTS.md, on a graph of the requested size/family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import (
+    Instance,
+    assert_rows_sound,
+    fig1_comparison,
+    format_rows,
+)
+from repro.analysis.stretch import stretch_distribution
+from repro.analysis.tables import breakdown
+from repro.covers.sparse_cover import DoubleTreeCover
+from repro.distributed.preprocessing import DistributedPreprocessing
+from repro.graph.digraph import Digraph
+from repro.graph.generators import standard_families
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import random_naming
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.rtz_baseline import RTZBaselineScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+def _graph(family: str, n: int, seed: int) -> Digraph:
+    families = standard_families(n, seed=seed)
+    if family not in families:
+        raise SystemExit(
+            f"unknown family {family!r}; choose from {sorted(families)}"
+        )
+    return families[family]
+
+
+def _scheme(label: str, inst: Instance, k: int, seed: int):
+    rng = random.Random(seed)
+    if label == "stretch6":
+        s = StretchSixScheme(inst.metric, inst.naming, rng=rng)
+        return s, s.STRETCH_BOUND
+    if label == "exstretch":
+        s = ExStretchScheme(inst.metric, inst.naming, k=k, rng=rng)
+        return s, s.stretch_bound()
+    if label == "polystretch":
+        s = PolynomialStretchScheme(inst.metric, inst.naming, k=k)
+        return s, s.stretch_bound()
+    if label == "rtz":
+        return RTZBaselineScheme(inst.metric, inst.naming, rng=rng), 3.0
+    raise SystemExit(f"unknown scheme {label!r}")
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    g = _graph(args.family, args.n, args.seed)
+    rows = fig1_comparison(
+        g, seed=args.seed + 1, sample_pairs=args.pairs, k=args.k
+    )
+    print(format_rows(rows))
+    assert_rows_sound(rows)
+    print("\nall schemes within their claimed stretch")
+    return 0
+
+
+def cmd_stretch(args: argparse.Namespace) -> int:
+    g = _graph(args.family, args.n, args.seed)
+    inst = Instance.prepare(g, seed=args.seed + 1)
+    scheme, bound = _scheme(args.scheme, inst, args.k, args.seed + 2)
+    dist = stretch_distribution(
+        scheme, inst.oracle, sample=args.pairs, rng=random.Random(args.seed)
+    )
+    print(f"scheme   : {scheme.name}")
+    print(f"pairs    : {len(dist.samples)}")
+    print(f"max      : {dist.max():.3f}   (bound {bound:.1f})")
+    print(f"mean     : {dist.mean():.3f}")
+    print(f"p50/p90  : {dist.percentile(50):.2f} / {dist.percentile(90):.2f}")
+    return 0 if dist.max() <= bound + 1e-9 else 1
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    g = _graph(args.family, args.n, args.seed)
+    inst = Instance.prepare(g, seed=args.seed + 1)
+    scheme, _bound = _scheme(args.scheme, inst, args.k, args.seed + 2)
+    print(f"scheme: {scheme.name} on {args.family} (n={g.n})\n")
+    print(breakdown(scheme).format(g.n))
+    return 0
+
+
+def cmd_covers(args: argparse.Namespace) -> int:
+    g = _graph(args.family, args.n, args.seed)
+    inst = Instance.prepare(g, seed=args.seed + 1)
+    dtc = DoubleTreeCover(inst.metric, args.k, float(args.scale))
+    dtc.verify()
+    worst = max(t.rt_height() for t in dtc.trees)
+    print(f"cover at scale {args.scale}, k={args.k} on {args.family} "
+          f"(n={g.n})")
+    print(f"trees        : {len(dtc.trees)}")
+    print(f"max height   : {worst:.1f}  (bound {dtc.height_bound():.1f})")
+    print(f"max load     : {dtc.max_vertex_load()}  "
+          f"(bound {dtc.load_bound()})")
+    print("all Theorem 13 properties verified")
+    return 0
+
+
+def cmd_distributed(args: argparse.Namespace) -> int:
+    g = _graph(args.family, args.n, args.seed)
+    naming = random_naming(g.n, random.Random(args.seed + 1))
+    prep = DistributedPreprocessing(g, naming, seed=args.seed + 2)
+    prep.verify_against_oracle(DistanceOracle(g))
+    print(f"{'phase':<18} {'rounds':>7} {'messages':>10}")
+    for label, cost in prep.costs.items():
+        print(f"{label:<18} {cost.rounds:>7} {cost.messages:>10}")
+    print(f"{'total':<18} {prep.total_rounds():>7} "
+          f"{prep.total_messages():>10}")
+    print("verified against the centralized construction")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    g = _graph(args.family, args.n, args.seed)
+    print(generate_report(g, seed=args.seed + 1, sample_pairs=args.pairs,
+                          k=args.k))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compact roundtrip routing reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=36, help="graph size")
+        p.add_argument("--seed", type=int, default=0, help="random seed")
+        p.add_argument(
+            "--family",
+            default="random",
+            help="graph family (random/cycle/torus/asym-torus/dht/layered)",
+        )
+        p.add_argument("--k", type=int, default=2, help="tradeoff parameter")
+
+    p = sub.add_parser("fig1", help="regenerate the Fig. 1 table")
+    common(p)
+    p.add_argument("--pairs", type=int, default=200)
+    p.set_defaults(func=cmd_fig1)
+
+    p = sub.add_parser("stretch", help="stretch distribution of one scheme")
+    common(p)
+    p.add_argument(
+        "--scheme",
+        default="stretch6",
+        help="stretch6 / exstretch / polystretch / rtz",
+    )
+    p.add_argument("--pairs", type=int, default=200)
+    p.set_defaults(func=cmd_stretch)
+
+    p = sub.add_parser("tables", help="table-composition breakdown")
+    common(p)
+    p.add_argument("--scheme", default="stretch6")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("covers", help="verify a Theorem 13 cover")
+    common(p)
+    p.add_argument("--scale", type=float, default=8.0)
+    p.set_defaults(func=cmd_covers)
+
+    p = sub.add_parser(
+        "distributed", help="run the distributed construction protocol"
+    )
+    common(p)
+    p.set_defaults(func=cmd_distributed)
+
+    p = sub.add_parser(
+        "report", help="generate a full markdown reproduction report"
+    )
+    common(p)
+    p.add_argument("--pairs", type=int, default=200)
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

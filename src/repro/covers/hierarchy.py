@@ -1,0 +1,154 @@
+"""The hierarchical double-tree cover (Section 4's sketch).
+
+For every level ``i = 0, 1, ..., ceil(log2(RTDiam(G)))`` build the
+Theorem 13 cover at scale ``2^i``; every vertex designates its *home
+double-tree* per level (the tree containing its entire ``2^i``-ball).
+The PolynomialStretch scheme searches levels bottom-up; the
+HandshakeSpanner (``repro.rtz.spanner``) picks the globally cheapest
+tree containing a pair.
+
+Tree identifiers are globally unique across levels: level ``i`` uses
+ids ``i * LEVEL_STRIDE + j``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.covers.double_tree import DoubleTree
+from repro.covers.sparse_cover import DoubleTreeCover
+from repro.exceptions import ConstructionError
+from repro.graph.roundtrip import RoundtripMetric
+
+#: Id space reserved per level; far above any realistic cluster count.
+LEVEL_STRIDE = 1 << 20
+
+
+class TreeHierarchy:
+    """All levels of double-tree covers for one graph.
+
+    Args:
+        metric: roundtrip metric.
+        k: tradeoff parameter (``k >= 2``).
+
+    Attributes:
+        levels: ``levels[i]`` is the scale-``2^i`` cover.
+    """
+
+    def __init__(self, metric: RoundtripMetric, k: int):
+        if k < 2:
+            raise ConstructionError(f"hierarchy requires k >= 2, got {k}")
+        self._metric = metric
+        self._k = k
+        rt_diam = metric.oracle.rt_diameter()
+        self.num_levels = max(1, int(math.ceil(math.log2(max(rt_diam, 2.0)))) + 1)
+        self.levels: List[DoubleTreeCover] = []
+        for i in range(self.num_levels):
+            self.levels.append(
+                DoubleTreeCover(
+                    metric, k, float(2 ** i), tree_id_base=i * LEVEL_STRIDE
+                )
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The tradeoff parameter."""
+        return self._k
+
+    @property
+    def metric(self) -> RoundtripMetric:
+        """The roundtrip metric."""
+        return self._metric
+
+    def level_of_tree_id(self, tree_id: int) -> int:
+        """Recover the level index from a global tree id."""
+        return tree_id // LEVEL_STRIDE
+
+    def tree_by_id(self, tree_id: int) -> DoubleTree:
+        """Lookup any tree by its global id."""
+        level = self.level_of_tree_id(tree_id)
+        if not (0 <= level < self.num_levels):
+            raise ConstructionError(f"tree id {tree_id} has invalid level")
+        return self.levels[level].tree_by_id(tree_id)
+
+    def home_tree(self, v: int, level: int) -> DoubleTree:
+        """Vertex ``v``'s home tree at ``level``."""
+        if not (0 <= level < self.num_levels):
+            raise ConstructionError(
+                f"level {level} out of range [0, {self.num_levels})"
+            )
+        return self.levels[level].home_tree(v)
+
+    def all_trees(self) -> Iterator[DoubleTree]:
+        """Iterate every tree across all levels."""
+        for cov in self.levels:
+            yield from cov.trees
+
+    # ------------------------------------------------------------------
+    # pair queries (used by the handshake spanner)
+    # ------------------------------------------------------------------
+    def first_common_home_level(self, u: int, v: int) -> int:
+        """The smallest level at which ``u``'s home tree contains ``v``.
+
+        Exists because the top-level scale is at least ``RTDiam``, whose
+        cover has a tree containing the whole graph ball of ``u``.
+        """
+        for level in range(self.num_levels):
+            if self.home_tree(u, level).contains(v):
+                return level
+        raise ConstructionError(
+            f"no level's home tree of {u} contains {v}; hierarchy is broken"
+        )
+
+    def best_tree_for_pair(self, u: int, v: int) -> DoubleTree:
+        """The tree containing both ``u`` and ``v`` (as members) whose
+        via-root roundtrip ``r(u, root) + r(root, v)`` is cheapest.
+
+        This is the "most convenient double tree" of the paper's
+        ``R2(u, v)`` handshake (Section 3.3).
+        """
+        best: Optional[DoubleTree] = None
+        best_cost = math.inf
+        for cov in self.levels:
+            for t in cov.trees_containing(u):
+                if not t.contains(v):
+                    continue
+                c = t.roundtrip_cost(u, v)
+                if c < best_cost - 1e-12:
+                    best, best_cost = t, c
+        if best is None:
+            raise ConstructionError(
+                f"no double tree contains both {u} and {v}; hierarchy is broken"
+            )
+        return best
+
+    # ------------------------------------------------------------------
+    # guarantees / accounting
+    # ------------------------------------------------------------------
+    def spanner_hop_bound(self, u: int, v: int) -> float:
+        """Upper bound on ``best_tree_for_pair``'s roundtrip cost implied
+        by Theorem 13: using the first common home level ``i`` (whose
+        scale is less than ``2 r(u,v)`` or the minimum scale),
+        the cost is at most ``RTHeight + (RTHeight + r(u,v))``.
+        """
+        r_uv = self._metric.r(u, v)
+        level = min(
+            self.num_levels - 1,
+            max(0, int(math.ceil(math.log2(max(r_uv, 1.0))))),
+        )
+        height = (2 * self._k - 1) * (2.0 ** level)
+        return 2 * height + r_uv
+
+    def table_entries_at(self, v: int) -> int:
+        """Total tree-state rows charged to ``v`` across all levels."""
+        total = 0
+        for t in self.all_trees():
+            total += t.table_entries_at(v)
+        return total
+
+    def verify(self) -> None:
+        """Verify every level's Theorem 13 properties."""
+        for cov in self.levels:
+            cov.verify()

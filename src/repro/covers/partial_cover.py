@@ -1,0 +1,102 @@
+"""``PartialCover(R, k)`` — Fig. 7, after Awerbuch-Peleg [8].
+
+Given a collection ``R`` of clusters (vertex sets), the procedure
+repeatedly grabs an arbitrary remaining cluster and grows a merged
+region ``Y`` by absorbing every cluster that intersects it, stopping
+when one more growth round would not multiply the region's cluster
+count by at least ``|R|^{1/k}``.  The merged regions ``DT`` are
+pairwise disjoint, and the clusters fully recorded as covered (``DR``)
+are at least ``|R|^{1-1/k}`` many, with radius blow-up at most
+``2k - 1`` (Lemma 11).
+
+The growth threshold compares *cluster counts* (``|Z|`` and ``|Y|`` as
+collections), matching the counting argument of Lemma 11 properties
+3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class PartialCoverResult:
+    """Output of one ``PartialCover`` run.
+
+    Attributes:
+        merged_regions: the collection ``DT`` of pairwise-disjoint
+            merged vertex sets.
+        covered: indices (into the input ``R``) of clusters recorded in
+            ``DR`` — each is fully contained in one merged region.
+        covering_region: for each covered cluster index, the index in
+            ``merged_regions`` of the region containing it.
+        removed: indices of *all* clusters removed from ``U`` (the
+            final absorbed set ``Z`` of each round; a superset of
+            ``covered``).  The caller keeps ``R \\ DR`` for the next
+            round, per Fig. 8.
+    """
+
+    merged_regions: List[FrozenSet[int]]
+    covered: List[int]
+    covering_region: Dict[int, int]
+    removed: Set[int]
+
+
+def partial_cover(clusters: Sequence[FrozenSet[int]], k: int) -> PartialCoverResult:
+    """Run ``PartialCover(R, k)`` (Fig. 7).
+
+    Args:
+        clusters: the collection ``R``; elements must be non-empty.
+        k: the tradeoff parameter (``k > 1`` for meaningful growth, but
+            ``k = 1`` is accepted and simply absorbs greedily).
+
+    Returns:
+        A :class:`PartialCoverResult`.
+    """
+    num = len(clusters)
+    if num == 0:
+        return PartialCoverResult([], [], {}, set())
+    growth = num ** (1.0 / k)
+
+    # Inverted index vertex -> cluster indices still in U.
+    by_vertex: Dict[int, Set[int]] = {}
+    for ci, members in enumerate(clusters):
+        for v in members:
+            by_vertex.setdefault(v, set()).add(ci)
+
+    alive: Set[int] = set(range(num))
+    merged_regions: List[FrozenSet[int]] = []
+    covered: List[int] = []
+    covering_region: Dict[int, int] = {}
+    removed_total: Set[int] = set()
+
+    while alive:
+        s0 = min(alive)  # "arbitrary" but deterministic
+        z_collection: Set[int] = {s0}
+        z_union: Set[int] = set(clusters[s0])
+        while True:
+            y_collection = z_collection
+            y_union = z_union
+            # Z <- every alive cluster intersecting the Y region.
+            z_collection = set()
+            for v in y_union:
+                z_collection |= by_vertex.get(v, set()) & alive
+            z_union = set()
+            for ci in z_collection:
+                z_union |= clusters[ci]
+            if len(z_collection) <= growth * len(y_collection):
+                break
+        # Commit: Y's clusters are covered by the merged region Y.
+        region_index = len(merged_regions)
+        merged_regions.append(frozenset(y_union))
+        for ci in sorted(y_collection):
+            covered.append(ci)
+            covering_region[ci] = region_index
+        # Remove all of Z (absorbed, possibly without coverage credit).
+        for ci in z_collection:
+            alive.discard(ci)
+            for v in clusters[ci]:
+                by_vertex[v].discard(ci)
+        removed_total |= z_collection
+    return PartialCoverResult(merged_regions, covered, covering_region, removed_total)

@@ -1,0 +1,6 @@
+"""Distributed dictionary substrate (system S9 of DESIGN.md):
+the randomized block distribution of Lemmas 1 and 4."""
+
+from repro.dictionary.distribution import BlockDistribution
+
+__all__ = ["BlockDistribution"]

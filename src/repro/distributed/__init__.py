@@ -1,0 +1,23 @@
+"""Distributed table construction and maintenance (the Section 6 open
+problems, made concrete as synchronous message-passing simulations
+with full round/message accounting)."""
+
+from repro.distributed.dynamic import (
+    DynamicMaintenance,
+    UpdateReport,
+    reweighted_copy,
+)
+from repro.distributed.preprocessing import (
+    DistributedPreprocessing,
+    NodeState,
+    PhaseCost,
+)
+
+__all__ = [
+    "DistributedPreprocessing",
+    "NodeState",
+    "PhaseCost",
+    "DynamicMaintenance",
+    "UpdateReport",
+    "reweighted_copy",
+]

@@ -1,0 +1,62 @@
+"""Graph substrate: digraphs, generators, distances, roundtrip metric.
+
+This subpackage implements systems S1-S5 of DESIGN.md: the fixed-port
+weighted digraph model of Section 1.1, strong-connectivity utilities,
+shortest-path machinery, and the roundtrip metric with the ``Init_v``
+total order used by every scheme in the paper.
+"""
+
+from repro.graph.digraph import Digraph, Edge, from_edge_list
+from repro.graph.generators import (
+    asymmetric_torus,
+    bidirect,
+    bidirected_clique,
+    bidirected_hypercube,
+    bidirected_torus,
+    directed_cycle,
+    layered_random,
+    random_dht_overlay,
+    random_strongly_connected,
+    scale_free_directed,
+    standard_families,
+)
+from repro.graph.roundtrip import RoundtripMetric, verify_metric_axioms
+from repro.graph.scc import (
+    condensation_order,
+    is_strongly_connected,
+    require_strongly_connected,
+    strongly_connected_components,
+)
+from repro.graph.shortest_paths import (
+    DistanceOracle,
+    dijkstra,
+    path_length,
+    shortest_path,
+)
+
+__all__ = [
+    "Digraph",
+    "Edge",
+    "from_edge_list",
+    "DistanceOracle",
+    "dijkstra",
+    "shortest_path",
+    "path_length",
+    "RoundtripMetric",
+    "verify_metric_axioms",
+    "strongly_connected_components",
+    "is_strongly_connected",
+    "require_strongly_connected",
+    "condensation_order",
+    "random_strongly_connected",
+    "directed_cycle",
+    "bidirected_torus",
+    "asymmetric_torus",
+    "random_dht_overlay",
+    "layered_random",
+    "scale_free_directed",
+    "bidirected_clique",
+    "bidirected_hypercube",
+    "bidirect",
+    "standard_families",
+]

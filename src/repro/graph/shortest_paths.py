@@ -1,0 +1,199 @@
+"""Shortest paths and the all-pairs distance oracle.
+
+The paper's preprocessing is centralized and is dominated by an
+all-pairs shortest-path computation (Section 6).  This module provides:
+
+* single-source Dijkstra (:func:`dijkstra`) returning distances and
+  shortest-path-tree parents, with the deterministic tie-breaking the
+  rest of the library relies on;
+* :func:`shortest_path` extraction;
+* :class:`DistanceOracle`, a cached all-pairs distance matrix with the
+  roundtrip matrix ``r = d + d^T`` alongside (used by every scheme).
+
+Dijkstra tie-breaking: when two paths to ``v`` have equal length, the
+one whose predecessor has the smaller vertex id wins.  This makes
+shortest-path trees canonical, which matters for the cluster-closure
+property of the RTZ substrate (see ``repro.rtz.routing``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, NotStronglyConnectedError
+from repro.graph.digraph import Digraph
+
+INF = math.inf
+
+
+def dijkstra(
+    g: Digraph,
+    source: int,
+    reverse: bool = False,
+) -> Tuple[List[float], List[int]]:
+    """Single-source shortest paths.
+
+    Args:
+        g: the digraph.
+        source: source vertex.
+        reverse: when ``True``, compute distances *into* ``source``
+            (i.e. run on reversed edges); the returned parents then form
+            an in-tree: ``parent[v]`` is the successor of ``v`` on a
+            shortest ``v -> source`` path.
+
+    Returns:
+        ``(dist, parent)`` where ``dist[v]`` is the distance and
+        ``parent[v]`` the shortest-path-tree parent (``-1`` for the
+        source and for unreachable vertices).
+    """
+    n = g.n
+    dist = [INF] * n
+    parent = [-1] * n
+    dist[source] = 0.0
+    # heap entries: (distance, parent_id_tiebreak, vertex)
+    heap: List[Tuple[float, int, int]] = [(0.0, -1, source)]
+    done = [False] * n
+    neighbors = g.in_neighbors if reverse else g.out_neighbors
+    while heap:
+        d, _tie, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        for (v, w) in neighbors(u):
+            nd = d + w
+            if nd < dist[v] - 1e-12 or (
+                abs(nd - dist[v]) <= 1e-12 and parent[v] > u and not done[v]
+            ):
+                dist[v] = nd
+                parent[v] = u
+                heapq.heappush(heap, (nd, u, v))
+    return dist, parent
+
+
+def shortest_path(g: Digraph, source: int, target: int) -> List[int]:
+    """Return a shortest path ``source -> ... -> target`` as vertex ids.
+
+    Raises:
+        GraphError: if ``target`` is unreachable from ``source``.
+    """
+    dist, parent = dijkstra(g, source)
+    if dist[target] == INF:
+        raise GraphError(f"vertex {target} unreachable from {source}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def path_length(g: Digraph, path: Sequence[int]) -> float:
+    """Return the total weight of a vertex path."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += g.weight(u, v)
+    return total
+
+
+class DistanceOracle:
+    """All-pairs distances with the derived roundtrip metric.
+
+    Computes ``n`` Dijkstra runs once and caches:
+
+    * ``d`` — the ``n x n`` one-way distance matrix (``d[u, v]`` is the
+      shortest ``u -> v`` distance),
+    * ``r`` — the roundtrip matrix ``r[u, v] = d[u, v] + d[v, u]``
+      (Section 1.1: the minimum cost of a directed tour from ``u``
+      through ``v`` back to ``u``),
+    * forward shortest-path-tree parents from every source, used to
+      extract canonical shortest paths without re-running Dijkstra.
+
+    Raises:
+        NotStronglyConnectedError: if any pair is unreachable.
+    """
+
+    def __init__(self, g: Digraph):
+        n = g.n
+        self._g = g
+        self._d = np.empty((n, n), dtype=np.float64)
+        self._parent: List[List[int]] = []
+        for s in range(n):
+            dist, parent = dijkstra(g, s)
+            if any(x == INF for x in dist):
+                raise NotStronglyConnectedError(
+                    f"vertex unreachable from {s}; graph must be strongly connected"
+                )
+            self._d[s, :] = dist
+            self._parent.append(parent)
+        self._r = self._d + self._d.T
+
+    @property
+    def graph(self) -> Digraph:
+        """The underlying digraph."""
+        return self._g
+
+    @property
+    def n(self) -> int:
+        """Vertex count."""
+        return self._g.n
+
+    @property
+    def d_matrix(self) -> np.ndarray:
+        """The full one-way distance matrix (read-only view)."""
+        return self._d
+
+    @property
+    def r_matrix(self) -> np.ndarray:
+        """The full roundtrip distance matrix (read-only view)."""
+        return self._r
+
+    def d(self, u: int, v: int) -> float:
+        """One-way distance ``d(u, v)``."""
+        return float(self._d[u, v])
+
+    def r(self, u: int, v: int) -> float:
+        """Roundtrip distance ``r(u, v) = d(u, v) + d(v, u)``."""
+        return float(self._r[u, v])
+
+    def path(self, u: int, v: int) -> List[int]:
+        """Canonical shortest path ``u -> v`` from the cached tree."""
+        path = [v]
+        parent = self._parent[u]
+        while path[-1] != u:
+            p = parent[path[-1]]
+            if p == -1:
+                raise GraphError(f"no path {u} -> {v}")
+            path.append(p)
+        path.reverse()
+        return path
+
+    def next_hop(self, u: int, v: int) -> int:
+        """First vertex after ``u`` on the canonical shortest ``u -> v``
+        path (``v`` itself if adjacent on the tree)."""
+        if u == v:
+            raise GraphError("next_hop undefined for u == v")
+        # Walk up from v until the parent is u.
+        parent = self._parent[u]
+        x = v
+        while parent[x] != u:
+            x = parent[x]
+            if x == -1:
+                raise GraphError(f"no path {u} -> {v}")
+        return x
+
+    def forward_tree_parents(self, source: int) -> List[int]:
+        """Parents of the canonical shortest-path out-tree rooted at
+        ``source`` (``parent[v]`` precedes ``v`` on the path
+        ``source -> v``)."""
+        return list(self._parent[source])
+
+    def diameter(self) -> float:
+        """One-way diameter ``max d(u, v)``."""
+        return float(self._d.max())
+
+    def rt_diameter(self) -> float:
+        """Roundtrip diameter ``max r(u, v)`` (``RTDiam`` in Section 4)."""
+        return float(self._r.max())

@@ -1,0 +1,21 @@
+"""Theorem 15 lower-bound machinery (system S23)."""
+
+from repro.lower_bound.construction import (
+    IncompressibilityDemo,
+    OneWayReport,
+    bidirected_instance,
+    matching_gadget,
+    roundtrip_scheme_as_one_way,
+    stretch2_forces_direct_edges,
+    verify_reduction_inequality,
+)
+
+__all__ = [
+    "bidirected_instance",
+    "roundtrip_scheme_as_one_way",
+    "verify_reduction_inequality",
+    "matching_gadget",
+    "IncompressibilityDemo",
+    "OneWayReport",
+    "stretch2_forces_direct_edges",
+]

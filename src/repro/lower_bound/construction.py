@@ -1,0 +1,270 @@
+"""The Theorem 15 lower bound: stretch < 2 needs ``Omega(n)`` bits.
+
+Theorem 15 is a *reduction*: take an undirected network ``N`` on which
+every TINN one-way scheme with stretch < 3 needs ``Omega(n)`` bits at
+some node (such networks exist by Gavoille-Gengler [20]); replace each
+undirected edge by two opposite directed edges to get ``N'``.  On
+``N'``, ``d(u, v) = d(v, u)``, so for any roundtrip scheme ``R`` whose
+one-way paths satisfy ``p(u, v) < 3 d(u, v)`` everywhere, ``R`` would
+*be* a one-way stretch-3 scheme for ``N`` and hence need ``Omega(n)``
+bits.  Conversely if some pair has ``p(u, v) >= 3 d(u, v)``, then
+``p(u, v) + p(v, u) >= 3 d(u, v) + d(v, u) = 2 r(u, v)``: the roundtrip
+stretch is at least 2.
+
+This module makes every step of that chain executable:
+
+* :func:`bidirected_instance` produces the doubled graph and checks
+  the distance symmetry the proof uses;
+* :func:`roundtrip_scheme_as_one_way` measures a roundtrip scheme's
+  one-way stretches on the doubled instance;
+* :func:`verify_reduction_inequality` checks the arithmetic chain
+  ``p(u,v) + p(v,u) >= 2 r(u,v)`` whenever the one-way stretch reaches
+  3 (on symmetric instances);
+* :class:`IncompressibilityDemo` demonstrates the counting argument
+  behind [20] directly: on the family of "matching-gadget" instances,
+  any scheme answering below-2 roundtrip stretch must distinguish
+  exponentially many instances through its tables, so the per-node
+  table of *some* node is ``Omega(n)`` bits.  We measure the
+  information actually needed by enumerating the distinct
+  forced-answer patterns.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConstructionError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import bidirect
+from repro.graph.shortest_paths import DistanceOracle
+from repro.runtime.scheme import RoutingScheme
+from repro.runtime.simulator import Simulator
+
+
+def bidirected_instance(g: Digraph) -> Tuple[Digraph, DistanceOracle]:
+    """Apply the Theorem 15 doubling and verify distance symmetry.
+
+    Returns:
+        ``(N', oracle)`` with ``d(u, v) == d(v, u)`` for all pairs.
+
+    Raises:
+        ConstructionError: if symmetry fails (impossible for the
+            doubling transform; kept as an invariant check).
+    """
+    doubled = bidirect(g)
+    oracle = DistanceOracle(doubled)
+    d = oracle.d_matrix
+    if not np.allclose(d, d.T):
+        raise ConstructionError("bidirected instance is not distance-symmetric")
+    return doubled, oracle
+
+
+@dataclass
+class OneWayReport:
+    """One-way stretch statistics of a roundtrip scheme.
+
+    Attributes:
+        max_one_way: worst ``p(u, v) / d(u, v)`` over measured pairs.
+        max_roundtrip: worst roundtrip stretch over the same pairs.
+        pairs: number of ordered pairs measured.
+    """
+
+    max_one_way: float
+    max_roundtrip: float
+    pairs: int
+
+
+def roundtrip_scheme_as_one_way(
+    scheme: RoutingScheme,
+    oracle: DistanceOracle,
+    sample: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> OneWayReport:
+    """Measure the one-way stretch a roundtrip scheme delivers.
+
+    The reduction's pivot: on a symmetric instance, a roundtrip scheme
+    with one-way stretch everywhere below 3 *is* a one-way stretch-3
+    scheme (and therefore owes [20]'s space).
+    """
+    n = oracle.n
+    pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+    if sample is not None and sample < len(pairs):
+        rng = rng or random.Random(0)
+        pairs = rng.sample(pairs, sample)
+    sim = Simulator(scheme)
+    worst_one = 0.0
+    worst_rt = 0.0
+    for (s, t) in pairs:
+        trace = sim.roundtrip(s, scheme.name_of(t))
+        worst_one = max(worst_one, trace.outbound.cost / oracle.d(s, t))
+        worst_rt = max(worst_rt, trace.total_cost / oracle.r(s, t))
+    return OneWayReport(worst_one, worst_rt, len(pairs))
+
+
+def verify_reduction_inequality(
+    one_way_paths: Dict[Tuple[int, int], float],
+    oracle: DistanceOracle,
+    tol: float = 1e-9,
+) -> None:
+    """Check Theorem 15's arithmetic on measured paths.
+
+    For every unordered symmetric-instance pair with
+    ``p(u, v) >= 3 d(u, v)``, assert
+    ``p(u, v) + p(v, u) >= 2 r(u, v)``.
+
+    Args:
+        one_way_paths: measured ``p(u, v)`` per ordered pair.
+        oracle: distances of the symmetric instance.
+
+    Raises:
+        AssertionError: if the chain fails (it cannot on symmetric
+            instances; this is the executable proof step).
+    """
+    for (u, v), p_uv in one_way_paths.items():
+        if p_uv < 3 * oracle.d(u, v) - tol:
+            continue
+        p_vu = one_way_paths.get((v, u))
+        if p_vu is None:
+            continue
+        assert p_uv + p_vu >= 2 * oracle.r(u, v) - tol, (
+            f"reduction chain violated at pair ({u}, {v})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The counting demonstration behind [20]
+# ----------------------------------------------------------------------
+
+
+def matching_gadget(n_pairs: int, matching: Sequence[int]) -> Digraph:
+    """A hard instance family for low-stretch routing.
+
+    ``2 * n_pairs`` outer nodes sit on a bidirected star around one hub
+    (edge weight 1); a perfect matching (a permutation pairing left
+    node ``i`` with right node ``matching[i]``) adds direct bidirected
+    shortcut edges of weight 1 between matched pairs.  Matched pairs
+    are at roundtrip distance 2 (direct), unmatched pairs at roundtrip
+    4 (via the hub):
+
+    * a roundtrip scheme with stretch < 2 must route matched pairs on
+      their direct edge (any hub detour costs ``>= 4 = 2 * r``);
+    * therefore the forwarding answer at each left node reveals its
+      matched partner, and collectively the tables encode the whole
+      matching — ``log2((n_pairs)!) = Omega(n log n)`` bits, i.e. some
+      node stores ``Omega(log n)`` and the *name-keyed dictionary* of
+      any o(n)-table scheme cannot: distinguishing all ``(n_pairs)!``
+      instances needs ``Omega(n)`` bits somewhere once names are
+      adversarial.
+
+    Args:
+        n_pairs: number of matched pairs.
+        matching: permutation of ``range(n_pairs)``; left node ``i``
+            (vertex ``1 + i``) is matched to right node ``matching[i]``
+            (vertex ``1 + n_pairs + matching[i]``).  Vertex 0 is the
+            hub.
+    """
+    if sorted(matching) != list(range(n_pairs)):
+        raise ConstructionError("matching must be a permutation")
+    n = 1 + 2 * n_pairs
+    g = Digraph(n)
+    hub = 0
+    for v in range(1, n):
+        g.add_edge(hub, v, 1.0)
+        g.add_edge(v, hub, 1.0)
+    for i, j in enumerate(matching):
+        left = 1 + i
+        right = 1 + n_pairs + j
+        g.add_edge(left, right, 1.0)
+        g.add_edge(right, left, 1.0)
+    return g.freeze()
+
+
+@dataclass
+class IncompressibilityDemo:
+    """The counting argument, executed.
+
+    For every matching of ``n_pairs`` elements, build the gadget and
+    record the *forced answer pattern*: which first hop each left node
+    must take toward each right-name to stay under roundtrip stretch 2.
+    Distinct matchings force distinct patterns, so tables across nodes
+    must hold at least ``log2(n_pairs!)`` bits.
+
+    Attributes:
+        n_pairs: pairs per instance.
+        instances: number of matchings enumerated.
+        distinct_patterns: number of distinct forced patterns observed.
+        required_bits: information-theoretic lower bound implied.
+    """
+
+    n_pairs: int
+    instances: int
+    distinct_patterns: int
+    required_bits: float
+
+    @classmethod
+    def run(cls, n_pairs: int, max_instances: int = 720) -> "IncompressibilityDemo":
+        """Enumerate matchings (up to ``max_instances``) and count the
+        distinct forced-answer patterns."""
+        patterns = set()
+        count = 0
+        for matching in itertools.permutations(range(n_pairs)):
+            count += 1
+            if count > max_instances:
+                count -= 1
+                break
+            g = matching_gadget(n_pairs, matching)
+            oracle = DistanceOracle(g)
+            pattern = []
+            for i in range(n_pairs):
+                left = 1 + i
+                for j in range(n_pairs):
+                    right = 1 + n_pairs + j
+                    # under stretch < 2 the first hop is forced iff
+                    # matched (direct edge), else any hub route works
+                    forced = oracle.r(left, right) < 4.0 - 1e-9
+                    pattern.append(1 if forced and matching[i] == j else 0)
+            patterns.add(tuple(pattern))
+        return cls(
+            n_pairs=n_pairs,
+            instances=count,
+            distinct_patterns=len(patterns),
+            required_bits=math.log2(len(patterns)) if patterns else 0.0,
+        )
+
+    def verify(self) -> None:
+        """Assert that the family is incompressible: every enumerated
+        matching forces a distinct pattern."""
+        assert self.distinct_patterns == self.instances, (
+            f"only {self.distinct_patterns} patterns for "
+            f"{self.instances} matchings"
+        )
+        assert self.required_bits >= math.log2(max(self.instances, 1)) - 1e-9
+
+
+def stretch2_forces_direct_edges(matching: Sequence[int]) -> None:
+    """Executable proof step: in a matching gadget, any roundtrip route
+    between a matched pair that avoids their direct edges costs at
+    least ``2 r``, so a scheme with stretch < 2 must use a direct edge
+    in at least one direction.
+
+    Raises:
+        AssertionError: never, for valid matchings — this is the
+            checked inequality.
+    """
+    n_pairs = len(matching)
+    g = matching_gadget(n_pairs, matching)
+    oracle = DistanceOracle(g)
+    for i, j in enumerate(matching):
+        left = 1 + i
+        right = 1 + n_pairs + j
+        assert abs(oracle.r(left, right) - 2.0) <= 1e-9
+        # cheapest detour avoiding the direct edge: via the hub, 2 each
+        # way -> total 4 = 2 * r
+        detour = oracle.d(left, 0) + oracle.d(0, right)
+        assert 2 * detour >= 2 * oracle.r(left, right) - 1e-9

@@ -1,0 +1,31 @@
+"""Naming substrate: adversarial permutation names, the universal-hash
+reduction for wild names, and the block/prefix address-space structure
+(systems S6-S8 of DESIGN.md)."""
+
+from repro.naming.blocks import BlockSpace, block_count_bound, sqrt_block_space
+from repro.naming.hashing import (
+    CarterWegmanHash,
+    HashedNaming,
+    next_prime,
+    random_wild_names,
+)
+from repro.naming.permutation import (
+    Naming,
+    identity_naming,
+    random_naming,
+    worst_case_namings,
+)
+
+__all__ = [
+    "Naming",
+    "identity_naming",
+    "random_naming",
+    "worst_case_namings",
+    "BlockSpace",
+    "sqrt_block_space",
+    "block_count_bound",
+    "CarterWegmanHash",
+    "HashedNaming",
+    "next_prime",
+    "random_wild_names",
+]

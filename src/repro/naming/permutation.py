@@ -1,0 +1,98 @@
+"""Topology-independent node naming (Section 1.1.2).
+
+In the TINN model, node names are an *arbitrary permutation* of
+``{0, ..., n-1}`` chosen by an adversary.  :class:`Naming` is the
+bijection between internal vertex ids (topology) and names (what
+packets carry).  All scheme tables key on names; all topology access
+goes through vertex ids.  Using a random permutation in tests verifies
+that no scheme smuggles topological information through the names.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.exceptions import NamingError
+
+
+class Naming:
+    """A bijection vertex id <-> node name over ``{0..n-1}``.
+
+    Args:
+        names: ``names[vertex]`` is the vertex's adversarial name.  Must
+            be a permutation of ``0..n-1``.
+
+    Example:
+        >>> nm = Naming([2, 0, 1])
+        >>> nm.name_of(0)
+        2
+        >>> nm.vertex_of(2)
+        0
+    """
+
+    def __init__(self, names: Sequence[int]):
+        n = len(names)
+        if sorted(names) != list(range(n)):
+            raise NamingError(
+                f"names must be a permutation of 0..{n - 1}, got {list(names)[:8]}..."
+            )
+        self._names: List[int] = list(names)
+        self._vertex: List[int] = [0] * n
+        for vertex, name in enumerate(self._names):
+            self._vertex[name] = vertex
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._names)
+
+    def name_of(self, vertex: int) -> int:
+        """The adversarial name of ``vertex``."""
+        self._check(vertex)
+        return self._names[vertex]
+
+    def vertex_of(self, name: int) -> int:
+        """The vertex carrying ``name``."""
+        self._check(name)
+        return self._vertex[name]
+
+    def all_names(self) -> List[int]:
+        """``names[vertex]`` list (a copy)."""
+        return list(self._names)
+
+    def _check(self, x: int) -> None:
+        if not (0 <= x < len(self._names)):
+            raise NamingError(f"value {x} out of range [0, {len(self._names)})")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Naming) and self._names == other._names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Naming(n={self.n})"
+
+
+def identity_naming(n: int) -> Naming:
+    """The identity permutation (names equal vertex ids)."""
+    return Naming(list(range(n)))
+
+
+def random_naming(n: int, rng: Optional[random.Random] = None) -> Naming:
+    """A uniformly random adversarial naming."""
+    rng = rng or random.Random(0)
+    names = list(range(n))
+    rng.shuffle(names)
+    return Naming(names)
+
+
+def worst_case_namings(n: int, count: int, rng: random.Random) -> List[Naming]:
+    """A batch of distinct random namings for adversarial testing."""
+    seen = set()
+    result: List[Naming] = []
+    while len(result) < count:
+        names = tuple(rng.sample(range(n), n))
+        if names in seen:
+            continue
+        seen.add(names)
+        result.append(Naming(list(names)))
+    return result

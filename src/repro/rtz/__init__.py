@@ -1,0 +1,27 @@
+"""RTZ-style name-dependent substrates (systems S14-S15):
+the stretch-3 roundtrip scheme of Lemma 2 and the handshake spanner of
+Lemma 5."""
+
+from repro.rtz.centers import CenterAssignment, sample_centers
+from repro.rtz.routing import (
+    DIRECT,
+    DOWN_TREE,
+    R3Label,
+    RTZStretch3,
+    TO_CENTER,
+)
+from repro.rtz.spanner import DOWN, HandshakeSpanner, R2Label, UP
+
+__all__ = [
+    "CenterAssignment",
+    "sample_centers",
+    "RTZStretch3",
+    "R3Label",
+    "DIRECT",
+    "TO_CENTER",
+    "DOWN_TREE",
+    "HandshakeSpanner",
+    "R2Label",
+    "UP",
+    "DOWN",
+]

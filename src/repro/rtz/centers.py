@@ -1,0 +1,125 @@
+"""Center (landmark) selection for the RTZ-style substrate.
+
+The stretch-3 scheme of Roditty, Thorup and Zwick samples a landmark
+set ``A`` of about ``sqrt(n)`` vertices; every vertex ``v`` then has a
+*home center* ``a(v)`` minimising the roundtrip distance ``r(v, c)``,
+and a *cluster* ``C(v) = {u : r(u, v) < r(v, A)}`` of vertices closer
+to ``v`` than ``v``'s own center is.
+
+With a uniform sample of size ``s``, each ``|C(v)|`` is a prefix of the
+roundtrip order stopped at the first sampled vertex, so
+``E|C(v)| <= n / (s + 1)`` — choosing ``s = ceil(sqrt(n))`` balances
+the two table contributions at ``~O(sqrt(n))`` each.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Set
+
+from repro.exceptions import ConstructionError
+from repro.graph.roundtrip import RoundtripMetric
+
+
+def sample_centers(
+    n: int,
+    rng: Optional[random.Random] = None,
+    size: Optional[int] = None,
+) -> List[int]:
+    """Uniformly sample the landmark set ``A``.
+
+    Args:
+        n: vertex count.
+        rng: randomness source.
+        size: landmark count; defaults to ``ceil(sqrt(n))``.
+
+    Returns:
+        Sorted vertex list (non-empty).
+    """
+    rng = rng or random.Random(0)
+    if size is None:
+        size = int(math.ceil(math.sqrt(n)))
+    size = max(1, min(size, n))
+    return sorted(rng.sample(range(n), size))
+
+
+class CenterAssignment:
+    """Home centers and clusters induced by a landmark set.
+
+    Args:
+        metric: the roundtrip metric.
+        centers: the landmark set ``A`` (non-empty).
+
+    Raises:
+        ConstructionError: on an empty landmark set.
+    """
+
+    def __init__(self, metric: RoundtripMetric, centers: Sequence[int]):
+        if len(centers) == 0:
+            raise ConstructionError("landmark set A must be non-empty")
+        self._metric = metric
+        self.centers: List[int] = sorted(set(centers))
+        n = metric.n
+        self._home: List[int] = []
+        self._r_to_a: List[float] = []
+        for v in range(n):
+            best = min(
+                self.centers, key=lambda c: (metric.r(v, c), c)
+            )
+            self._home.append(best)
+            self._r_to_a.append(metric.r(v, best))
+        # cluster membership: u in C(v) iff r(u, v) < r(v, A)
+        self._clusters: List[Set[int]] = []
+        for v in range(n):
+            bound = self._r_to_a[v]
+            members = {
+                u for u in range(n) if u != v and metric.r(u, v) < bound - 1e-12
+            }
+            self._clusters.append(members)
+
+    @property
+    def metric(self) -> RoundtripMetric:
+        """The roundtrip metric."""
+        return self._metric
+
+    def home_center(self, v: int) -> int:
+        """``a(v)``: the landmark minimising ``r(v, c)``."""
+        return self._home[v]
+
+    def r_to_centers(self, v: int) -> float:
+        """``r(v, A) = r(v, a(v))``."""
+        return self._r_to_a[v]
+
+    def cluster(self, v: int) -> Set[int]:
+        """``C(v)``: vertices with a direct route to ``v``."""
+        return set(self._clusters[v])
+
+    def in_cluster(self, u: int, v: int) -> bool:
+        """Whether ``u`` may route directly to ``v``."""
+        return u in self._clusters[v]
+
+    def max_cluster_size(self) -> int:
+        """Largest ``|C(v)|`` (drives the direct-table bound)."""
+        return max(len(c) for c in self._clusters)
+
+    def mean_cluster_size(self) -> float:
+        """Average ``|C(v)|``."""
+        return sum(len(c) for c in self._clusters) / self._metric.n
+
+    def verify_cluster_path_closure(self) -> None:
+        """Assert the closure property direct routing relies on: for
+        ``u`` in ``C(v)``, every vertex on the canonical shortest
+        ``u -> v`` path is in ``C(v)`` too.
+
+        (Proof: for ``x`` on a shortest ``u -> v`` path,
+        ``d(x,v) <= d(u,v) - d(u,x)`` and ``d(v,x) <= d(v,u) + d(u,x)``,
+        so ``r(x,v) <= r(u,v) < r(v,A)``.)
+        """
+        oracle = self._metric.oracle
+        for v in range(self._metric.n):
+            for u in self._clusters[v]:
+                for x in oracle.path(u, v)[1:-1]:
+                    assert x in self._clusters[v], (
+                        f"closure violated: {x} on path {u}->{v} not in C({v})"
+                    )

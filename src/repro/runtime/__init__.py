@@ -1,0 +1,56 @@
+"""Runtime substrate (systems S16-S18): headers with bit accounting,
+the routing-scheme interface, the hop-by-hop simulator, and the
+measurement helpers."""
+
+from repro.runtime.scheme import (
+    Decision,
+    Deliver,
+    Forward,
+    Header,
+    NEW_PACKET,
+    RETURN_PACKET,
+    RoutingScheme,
+)
+from repro.runtime.codec import BitReader, BitWriter, CodecError, HeaderCodec
+from repro.runtime.simulator import LegTrace, RoundtripTrace, Simulator
+from repro.runtime.sizing import (
+    MODE_BITS,
+    bit_size,
+    entries_to_bits,
+    header_bits,
+    id_bits,
+    log2_squared,
+)
+from repro.runtime.stats import (
+    StretchReport,
+    TableReport,
+    measure_stretch,
+    measure_tables,
+)
+
+__all__ = [
+    "RoutingScheme",
+    "Forward",
+    "Deliver",
+    "Decision",
+    "Header",
+    "NEW_PACKET",
+    "RETURN_PACKET",
+    "Simulator",
+    "LegTrace",
+    "RoundtripTrace",
+    "HeaderCodec",
+    "BitWriter",
+    "BitReader",
+    "CodecError",
+    "bit_size",
+    "header_bits",
+    "id_bits",
+    "entries_to_bits",
+    "log2_squared",
+    "MODE_BITS",
+    "StretchReport",
+    "TableReport",
+    "measure_stretch",
+    "measure_tables",
+]

@@ -1,0 +1,241 @@
+"""A concrete wire format for packet headers (Section 1.1.4).
+
+The sizing module *estimates* header bits; this codec *produces* them:
+headers are encoded to an actual bitstring and decoded back, so the
+``O(log^2 n)`` claims are validated against a real encoding rather
+than an accounting convention.  The simulator does not use the codec
+on the hot path (headers stay dicts for debuggability); tests and the
+header benchmarks round-trip live headers through it.
+
+Format: a sequence of tagged fields.  Each field is
+
+* a field-name tag (5 bits, from a fixed registry of the field names
+  the schemes use),
+* a type tag (3 bits),
+* a type-dependent payload; identifiers are fixed-width
+  ``ceil(log2 n)`` bits; strings (mode constants) are 4-bit length
+  plus 7-bit ASCII; lists carry a length then elements; the three
+  label dataclasses have dedicated compound encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ReproError
+from repro.runtime.scheme import Header
+from repro.runtime.sizing import id_bits
+from repro.rtz.routing import R3Label
+from repro.rtz.spanner import R2Label
+from repro.tree_routing.fixed_port import TreeAddress
+
+
+class CodecError(ReproError):
+    """Raised on malformed encodings or unregistered fields."""
+
+
+#: every header field name the schemes use, in a fixed registry order
+FIELD_REGISTRY: List[str] = [
+    "mode",
+    "dest",
+    "src_label",
+    "next_label",
+    "dict_node",
+    "leg",
+    "label",
+    "src_id",
+    "hop",
+    "stack",
+    "next_id",
+    "phase",
+    "src_addr",
+    "level",
+    "tree_id",
+    "returning",
+    "next_addr",
+    "src",
+    "fetched",
+]
+_FIELD_INDEX = {name: i for i, name in enumerate(FIELD_REGISTRY)}
+_FIELD_BITS = 5
+
+# type tags
+_T_NONE, _T_BOOL, _T_INT, _T_STR, _T_LIST, _T_R3, _T_R2, _T_ADDR = range(8)
+_TYPE_BITS = 3
+
+
+class BitWriter:
+    """Append-only bit buffer."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Write ``value`` as ``width`` bits, MSB first."""
+        if value < 0 or value >= (1 << width):
+            raise CodecError(f"value {value} does not fit in {width} bits")
+        for i in reversed(range(width)):
+            self._bits.append((value >> i) & 1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def getvalue(self) -> List[int]:
+        """The raw bit list."""
+        return list(self._bits)
+
+
+class BitReader:
+    """Sequential bit reader."""
+
+    def __init__(self, bits: List[int]):
+        self._bits = bits
+        self._pos = 0
+
+    def read(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        if self._pos + width > len(self._bits):
+            raise CodecError("truncated encoding")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self._bits[self._pos]
+            self._pos += 1
+        return value
+
+    @property
+    def remaining(self) -> int:
+        """Unread bit count."""
+        return len(self._bits) - self._pos
+
+
+class HeaderCodec:
+    """Encode/decode headers for an ``n``-node network.
+
+    Args:
+        n: network size; identifiers use ``ceil(log2 n)`` bits.
+        id_universe: width override for identifier fields that exceed
+            the name space (e.g. wild names); defaults to ``n``.
+    """
+
+    def __init__(self, n: int, id_universe: int = 0):
+        self._n = n
+        self._idw = id_bits(max(n, id_universe))
+        # tree ids span levels * stride; give them a wide fixed field
+        self._treew = max(self._idw, 26)
+
+    # ------------------------------------------------------------------
+    def encode(self, header: Header) -> List[int]:
+        """Encode a header dict to bits.
+
+        Raises:
+            CodecError: on unregistered fields or unencodable values.
+        """
+        w = BitWriter()
+        w.write(len(header), 6)
+        for key in sorted(header, key=lambda k: _FIELD_INDEX.get(k, 99)):
+            if key not in _FIELD_INDEX:
+                raise CodecError(f"unregistered header field {key!r}")
+            w.write(_FIELD_INDEX[key], _FIELD_BITS)
+            self._encode_value(w, header[key])
+        return w.getvalue()
+
+    def decode(self, bits: List[int]) -> Header:
+        """Decode bits back to a header dict."""
+        r = BitReader(bits)
+        count = r.read(6)
+        out: Header = {}
+        for _ in range(count):
+            field = FIELD_REGISTRY[r.read(_FIELD_BITS)]
+            out[field] = self._decode_value(r)
+        return out
+
+    # ------------------------------------------------------------------
+    def _encode_value(self, w: BitWriter, value: object) -> None:
+        if value is None:
+            w.write(_T_NONE, _TYPE_BITS)
+        elif isinstance(value, bool):
+            w.write(_T_BOOL, _TYPE_BITS)
+            w.write(int(value), 1)
+        elif isinstance(value, int):
+            w.write(_T_INT, _TYPE_BITS)
+            # width escape: 0 = identifier, 1 = tree-id width, 2 = 64b
+            if 0 <= value < (1 << self._idw):
+                w.write(0, 2)
+                w.write(value, self._idw)
+            elif 0 <= value < (1 << self._treew):
+                w.write(1, 2)
+                w.write(value, self._treew)
+            else:
+                w.write(2, 2)
+                w.write(value, 64)
+        elif isinstance(value, str):
+            w.write(_T_STR, _TYPE_BITS)
+            if len(value) >= 16:
+                raise CodecError("mode strings must be short")
+            w.write(len(value), 4)
+            for ch in value:
+                code = ord(ch)
+                if code >= 128:
+                    raise CodecError("mode strings must be ASCII")
+                w.write(code, 7)
+        elif isinstance(value, (list, tuple)):
+            w.write(_T_LIST, _TYPE_BITS)
+            w.write(len(value), self._idw)
+            for item in value:
+                self._encode_value(w, item)
+        elif isinstance(value, R3Label):
+            w.write(_T_R3, _TYPE_BITS)
+            w.write(value.dest, self._idw)
+            w.write(value.center, self._idw)
+            self._write_addr(w, value.addr)
+        elif isinstance(value, R2Label):
+            w.write(_T_R2, _TYPE_BITS)
+            self._write_addr(w, value.addr_from)
+            self._write_addr(w, value.addr_to)
+        elif isinstance(value, TreeAddress):
+            w.write(_T_ADDR, _TYPE_BITS)
+            self._write_addr(w, value)
+        else:
+            raise CodecError(
+                f"no encoding for {type(value).__name__}"
+            )
+
+    def _write_addr(self, w: BitWriter, addr: TreeAddress) -> None:
+        w.write(addr.tree_id, self._treew)
+        w.write(addr.dfs, self._idw)
+
+    def _read_addr(self, r: BitReader) -> TreeAddress:
+        return TreeAddress(r.read(self._treew), r.read(self._idw))
+
+    def _decode_value(self, r: BitReader) -> object:
+        tag = r.read(_TYPE_BITS)
+        if tag == _T_NONE:
+            return None
+        if tag == _T_BOOL:
+            return bool(r.read(1))
+        if tag == _T_INT:
+            escape = r.read(2)
+            widths = {0: self._idw, 1: self._treew, 2: 64}
+            return r.read(widths[escape])
+        if tag == _T_STR:
+            length = r.read(4)
+            return "".join(chr(r.read(7)) for _ in range(length))
+        if tag == _T_LIST:
+            length = r.read(self._idw)
+            return [self._decode_value(r) for _ in range(length)]
+        if tag == _T_R3:
+            dest = r.read(self._idw)
+            center = r.read(self._idw)
+            return R3Label(dest, center, self._read_addr(r))
+        if tag == _T_R2:
+            addr_from = self._read_addr(r)
+            addr_to = self._read_addr(r)
+            return R2Label(addr_to.tree_id, addr_from, addr_to)
+        if tag == _T_ADDR:
+            return self._read_addr(r)
+        raise CodecError(f"unknown type tag {tag}")
+
+    # ------------------------------------------------------------------
+    def encoded_bits(self, header: Header) -> int:
+        """Length of the real encoding in bits."""
+        return len(self.encode(header))

@@ -1,0 +1,130 @@
+"""The routing-scheme interface (Section 1.1.1).
+
+A roundtrip routing scheme must specify (1) per-node tables, (2) a
+forwarding function ``F(table(x), header(P))`` returning the outgoing
+port and the new header.  :class:`RoutingScheme` captures exactly that
+contract; the simulator in :mod:`repro.runtime.simulator` executes it
+hop by hop, giving schemes no access to anything but the current
+vertex's table and the packet header.
+
+Headers are plain dicts of named fields (sized by
+:mod:`repro.runtime.sizing`).  Two fields are universal, following the
+paper's pseudocode (Figs. 3, 6, 11):
+
+* ``"mode"`` — ``NEW_PACKET`` when first injected at the source,
+  ``RETURN_PACKET`` set by the *destination host* when it emits the
+  acknowledgment; schemes rewrite it to their internal modes
+  (Outbound/Inbound/Enroute/...).
+* ``"dest"`` — the topology-independent destination *name*; the only
+  topological hint a fresh packet carries is nothing at all.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.graph.digraph import Digraph
+
+#: header mode constants shared across schemes
+NEW_PACKET = "new"
+RETURN_PACKET = "ret"
+
+Header = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Forward:
+    """Forwarding decision: send on ``port`` with ``header``."""
+
+    port: int
+    header: Header
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Forwarding decision: hand the packet to the local host."""
+
+    header: Header
+
+
+Decision = Union[Forward, Deliver]
+
+
+class RoutingScheme(abc.ABC):
+    """A compact roundtrip routing scheme over a fixed graph + naming.
+
+    Subclasses build all tables in ``__init__`` (centralized
+    preprocessing, as the paper allows) and expose the local forwarding
+    function plus table-size accounting.
+    """
+
+    #: short scheme identifier used in experiment tables
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def graph(self) -> Digraph:
+        """The underlying digraph."""
+
+    @abc.abstractmethod
+    def name_of(self, vertex: int) -> int:
+        """The adversarial name of ``vertex`` (naming is part of the
+        instance a scheme is built for)."""
+
+    @abc.abstractmethod
+    def vertex_of(self, name: int) -> int:
+        """Inverse of :meth:`name_of` (preprocessing-time only)."""
+
+    def new_packet_header(self, dest_name: int) -> Header:
+        """The header a fresh packet arrives with: destination name
+        only (TINN model)."""
+        return {"mode": NEW_PACKET, "dest": dest_name}
+
+    def make_return_header(self, header: Header) -> Header:
+        """Header of the acknowledgment the destination host emits.
+
+        Per the paper: "When a reply packet is sent, Mode is set to
+        ReturnPacket before the routing algorithm receives it"; learned
+        topological information stays in the header.
+        """
+        out = dict(header)
+        out["mode"] = RETURN_PACKET
+        return out
+
+    @abc.abstractmethod
+    def forward(self, at: int, header: Header) -> Decision:
+        """The local forwarding function ``F(table(at), header)``.
+
+        Args:
+            at: the vertex currently holding the packet.
+            header: the packet header (never mutated; return a new one).
+
+        Returns:
+            :class:`Forward` or :class:`Deliver`.
+        """
+
+    # ------------------------------------------------------------------
+    # table accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def table_entries(self, vertex: int) -> int:
+        """Number of stored table rows at ``vertex`` (identifier-sized
+        fields are counted by :meth:`table_bits`)."""
+
+    def table_bits(self, vertex: int) -> int:
+        """Approximate bit size of the local table; default charges two
+        identifier fields per entry."""
+        from repro.runtime.sizing import entries_to_bits
+
+        return entries_to_bits(self.table_entries(vertex), self.graph.n)
+
+    def max_table_entries(self) -> int:
+        """Max table rows over all vertices."""
+        return max(self.table_entries(v) for v in self.graph.vertices())
+
+    def mean_table_entries(self) -> float:
+        """Mean table rows over all vertices."""
+        total = sum(self.table_entries(v) for v in self.graph.vertices())
+        return total / self.graph.n

@@ -1,0 +1,149 @@
+"""Hop-by-hop network simulator.
+
+Executes a :class:`~repro.runtime.scheme.RoutingScheme`'s forwarding
+function exactly as the network would: the packet sits at a vertex, the
+local algorithm sees only (local table, header) and returns a port; the
+*network* (this simulator) moves the packet along that port.  The
+simulator also:
+
+* accounts path cost (sum of edge weights) and hop count,
+* tracks the maximum header size in bits across the journey,
+* enforces a hop budget, raising :class:`HopLimitExceeded` on loops,
+* runs the full roundtrip protocol: outbound delivery at the
+  destination host, acknowledgment emission, inbound delivery at the
+  source host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.exceptions import HopLimitExceeded, RoutingError
+from repro.runtime.scheme import Deliver, Forward, Header, RoutingScheme
+from repro.runtime.sizing import header_bits
+
+
+@dataclass
+class LegTrace:
+    """One direction of a journey.
+
+    Attributes:
+        path: vertices visited, inclusive of both endpoints.
+        cost: total edge weight traversed.
+        max_header_bits: largest header observed on this leg.
+    """
+
+    path: List[int]
+    cost: float
+    max_header_bits: int
+
+    @property
+    def hops(self) -> int:
+        """Edge count of the leg."""
+        return len(self.path) - 1
+
+
+@dataclass
+class RoundtripTrace:
+    """Result of a full roundtrip ``s -> t -> s``.
+
+    Attributes:
+        outbound: the forward leg trace.
+        inbound: the acknowledgment leg trace.
+    """
+
+    outbound: LegTrace
+    inbound: LegTrace
+
+    @property
+    def total_cost(self) -> float:
+        """Roundtrip path cost."""
+        return self.outbound.cost + self.inbound.cost
+
+    @property
+    def total_hops(self) -> int:
+        """Roundtrip hop count."""
+        return self.outbound.hops + self.inbound.hops
+
+    @property
+    def max_header_bits(self) -> int:
+        """Largest header observed anywhere in the journey."""
+        return max(self.outbound.max_header_bits, self.inbound.max_header_bits)
+
+
+class Simulator:
+    """Executes packets against a scheme.
+
+    Args:
+        scheme: the routing scheme under test.
+        hop_limit: per-leg hop budget; defaults to ``8 * n + 64``, far
+            above any correct scheme's needs but small enough to catch
+            loops quickly.
+    """
+
+    def __init__(self, scheme: RoutingScheme, hop_limit: Optional[int] = None):
+        self._scheme = scheme
+        self._g = scheme.graph
+        self._hop_limit = hop_limit or (8 * self._g.n + 64)
+
+    def _run_leg(
+        self, start: int, header: Header, expect_end: int
+    ) -> Tuple[LegTrace, Header]:
+        """Drive the packet until delivery; return the trace and the
+        header as delivered (the host sees that header)."""
+        at = start
+        path = [at]
+        cost = 0.0
+        max_bits = header_bits(header, self._g.n)
+        for _hop in range(self._hop_limit + 1):
+            decision = self._scheme.forward(at, header)
+            if isinstance(decision, Deliver):
+                if at != expect_end:
+                    raise RoutingError(
+                        f"scheme {self._scheme.name} delivered at vertex "
+                        f"{at}, expected {expect_end}"
+                    )
+                return LegTrace(path, cost, max_bits), decision.header
+            if not isinstance(decision, Forward):
+                raise RoutingError(
+                    f"scheme returned {type(decision).__name__}, expected "
+                    "Forward or Deliver"
+                )
+            nxt = self._g.head_of_port(at, decision.port)
+            cost += self._g.weight(at, nxt)
+            at = nxt
+            path.append(at)
+            header = decision.header
+            max_bits = max(max_bits, header_bits(header, self._g.n))
+        raise HopLimitExceeded(
+            f"scheme {self._scheme.name} exceeded {self._hop_limit} hops "
+            f"routing from {start} to {expect_end} (loop?)"
+        )
+
+    def one_way(self, source: int, dest_name: int) -> LegTrace:
+        """Route a fresh packet ``source -> dest`` and stop at delivery
+        (used for leg-level substrate experiments)."""
+        dest_vertex = self._scheme.vertex_of(dest_name)
+        header = self._scheme.new_packet_header(dest_name)
+        trace, _final = self._run_leg(source, header, dest_vertex)
+        return trace
+
+    def roundtrip(self, source: int, dest_name: int) -> RoundtripTrace:
+        """Run the full protocol: inject at ``source`` a packet for
+        ``dest_name``; deliver; let the destination host emit the
+        acknowledgment; deliver back at the source.
+
+        Args:
+            source: source *vertex* (where the packet enters the
+                network).
+            dest_name: destination *name* (all the packet knows).
+        """
+        dest_vertex = self._scheme.vertex_of(dest_name)
+        header = self._scheme.new_packet_header(dest_name)
+        outbound, delivered = self._run_leg(source, header, dest_vertex)
+        # The destination host flips the packet around; learned routing
+        # information stays in the header (Section 1.1.1).
+        return_header = self._scheme.make_return_header(delivered)
+        inbound, _final = self._run_leg(dest_vertex, return_header, source)
+        return RoundtripTrace(outbound, inbound)

@@ -1,0 +1,120 @@
+"""Measurement helpers: stretch distributions and table summaries.
+
+These are the primitives the analysis harness and benchmarks use to
+turn a scheme into the numbers reported in the paper's claims table
+(Fig. 1): worst/mean roundtrip stretch over sampled pairs, and table
+sizes in entries and bits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import RoutingError
+from repro.graph.shortest_paths import DistanceOracle
+from repro.runtime.scheme import RoutingScheme
+from repro.runtime.simulator import Simulator
+
+
+@dataclass
+class StretchReport:
+    """Roundtrip-stretch statistics over a set of pairs.
+
+    Attributes:
+        pairs: number of (source, destination) pairs measured.
+        max_stretch: worst observed roundtrip stretch.
+        mean_stretch: average roundtrip stretch.
+        max_header_bits: largest header seen in any journey.
+        worst_pair: the (source_vertex, dest_vertex) achieving
+            ``max_stretch``.
+    """
+
+    pairs: int
+    max_stretch: float
+    mean_stretch: float
+    max_header_bits: int
+    worst_pair: Tuple[int, int]
+
+
+def measure_stretch(
+    scheme: RoutingScheme,
+    oracle: DistanceOracle,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    sample: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> StretchReport:
+    """Route every given pair and report roundtrip stretch statistics.
+
+    Args:
+        scheme: scheme under test (already constructed).
+        oracle: distances of the same graph (ground truth).
+        pairs: explicit (source_vertex, dest_vertex) pairs; defaults to
+            all ordered pairs, optionally subsampled.
+        sample: when given and ``pairs`` is None, draw this many random
+            ordered pairs instead of the full quadratic set.
+        rng: randomness for sampling.
+
+    Raises:
+        RoutingError: propagated from the simulator on any failure —
+            measurement never hides a delivery bug.
+    """
+    n = oracle.n
+    if pairs is None:
+        all_pairs = [(s, t) for s in range(n) for t in range(n) if s != t]
+        if sample is not None and sample < len(all_pairs):
+            rng = rng or random.Random(0)
+            pairs = rng.sample(all_pairs, sample)
+        else:
+            pairs = all_pairs
+    sim = Simulator(scheme)
+    worst = 0.0
+    worst_pair = (-1, -1)
+    total = 0.0
+    max_bits = 0
+    for (s, t) in pairs:
+        if s == t:
+            raise RoutingError("stretch undefined for s == t")
+        trace = sim.roundtrip(s, scheme.name_of(t))
+        stretch = trace.total_cost / oracle.r(s, t)
+        total += stretch
+        max_bits = max(max_bits, trace.max_header_bits)
+        if stretch > worst:
+            worst, worst_pair = stretch, (s, t)
+    return StretchReport(
+        pairs=len(pairs),
+        max_stretch=worst,
+        mean_stretch=total / len(pairs),
+        max_header_bits=max_bits,
+        worst_pair=worst_pair,
+    )
+
+
+@dataclass
+class TableReport:
+    """Table-size statistics for one scheme instance.
+
+    Attributes:
+        max_entries: largest per-node table (rows).
+        mean_entries: average per-node table (rows).
+        total_entries: sum of all rows.
+        max_bits: largest per-node table in estimated bits.
+    """
+
+    max_entries: int
+    mean_entries: float
+    total_entries: int
+    max_bits: int
+
+
+def measure_tables(scheme: RoutingScheme) -> TableReport:
+    """Summarize per-node table sizes of a constructed scheme."""
+    sizes = [scheme.table_entries(v) for v in scheme.graph.vertices()]
+    bits = [scheme.table_bits(v) for v in scheme.graph.vertices()]
+    return TableReport(
+        max_entries=max(sizes),
+        mean_entries=sum(sizes) / len(sizes),
+        total_entries=sum(sizes),
+        max_bits=max(bits),
+    )

@@ -1,0 +1,16 @@
+"""Routing schemes (systems S19-S22): the paper's three TINN schemes
+plus the two Fig. 1 baselines."""
+
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.rtz_baseline import RTZBaselineScheme
+from repro.schemes.shortest_path import ShortestPathScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+__all__ = [
+    "ShortestPathScheme",
+    "RTZBaselineScheme",
+    "StretchSixScheme",
+    "ExStretchScheme",
+    "PolynomialStretchScheme",
+]

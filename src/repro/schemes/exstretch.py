@@ -1,0 +1,319 @@
+"""The ExStretch TINN scheme (Section 3, Figs. 4-6).
+
+The exponential space/stretch tradeoff: with dictionary blocks over the
+base-``n^{1/k}`` representation of names, a packet walks a sequence of
+waypoints ``s = v_0, v_1, ..., v_k = t`` whose stored blocks match ever
+longer prefixes of the destination name, covering each hop with a
+handshake label ``R2(v_i, v_{i+1})`` read from the local dictionary and
+pushed onto a header stack for the return trip.
+
+Lemma 8 bounds hop ``i``'s roundtrip by ``2^i r(s, t)``; summing and
+multiplying by the spanner's per-hop roundtrip stretch gives
+Theorem 9's ``(2^k - 1)(2k + eps)`` — with our Theorem 13-based
+substrate the per-hop factor is ``8k - 3`` worst case (see DESIGN.md,
+substitutions).
+
+Per-node storage (Section 3.3), at node ``u``:
+
+1. ``Tab(u)`` — the double-tree hierarchy state;
+2. for every ``v`` in ``N_1(u)``: ``(name(v), R2(u, v))`` — also used
+   as a direct shortcut when the destination is a close neighbor;
+3. for each block in ``S'_u = S_u + own block``:
+   (a) for every level ``0 <= i < k-1`` and digit ``tau``:
+   ``R2(u, v)`` for the nearest ``v`` holding a block matching
+   ``prefix_i(own block) . tau``;
+   (b) for every digit ``tau``: ``R2(u, v)`` for the node ``v`` named
+   ``prefix_{k-1}(block) . tau`` (when that name exists).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.dictionary.distribution import BlockDistribution
+from repro.exceptions import ConstructionError, TableLookupError
+from repro.graph.digraph import Digraph
+from repro.graph.roundtrip import RoundtripMetric
+from repro.naming.blocks import BlockSpace
+from repro.naming.permutation import Naming
+from repro.runtime.scheme import (
+    Decision,
+    Deliver,
+    Forward,
+    Header,
+    NEW_PACKET,
+    RETURN_PACKET,
+    RoutingScheme,
+)
+from repro.rtz.spanner import HandshakeSpanner, R2Label
+
+#: internal modes (Fig. 6's Outbound/Inbound)
+_OUTBOUND = "exo"
+_INBOUND = "exi"
+
+
+class ExStretchScheme(RoutingScheme):
+    """Section 3's exponential-tradeoff TINN roundtrip scheme.
+
+    Args:
+        metric: roundtrip metric.
+        naming: adversarial node naming.
+        k: the tradeoff parameter (``k >= 2``); ``k = 2`` mirrors the
+            ``sqrt(n)`` regime.
+        rng: randomness for the block distribution.
+        spanner: optionally share a pre-built :class:`HandshakeSpanner`.
+        blocks_per_node: override the dictionary sampling budget
+            (defaults to the Lemma 4 ``O(log n)`` constant; smaller
+            values exercise longer waypoint ladders on small graphs).
+    """
+
+    name = "exstretch (TINN)"
+
+    def __init__(
+        self,
+        metric: RoundtripMetric,
+        naming: Naming,
+        k: int = 2,
+        rng: Optional[random.Random] = None,
+        spanner: Optional[HandshakeSpanner] = None,
+        blocks_per_node: Optional[int] = None,
+    ):
+        if k < 2:
+            raise ConstructionError(f"ExStretch requires k >= 2, got {k}")
+        rng = rng or random.Random(0)
+        n = metric.n
+        self._metric = metric
+        self._naming = naming
+        self.k = k
+        self.spanner = spanner or HandshakeSpanner(metric, k)
+        self.blocks = BlockSpace(n, k)
+        self.distribution = BlockDistribution(
+            metric, self.blocks, rng, blocks_per_node=blocks_per_node
+        )
+
+        # (2) close-neighbor handshakes: name -> R2.
+        self._near: List[Dict[int, R2Label]] = [dict() for _ in range(n)]
+        for u in range(n):
+            for v in metric.level_neighborhood(u, 1, k):
+                if v != u:
+                    self._near[u][naming.name_of(v)] = self.spanner.r2(u, v)
+        # Invert the distribution once: prefix -> set of holder vertices
+        # (a node holds a prefix when some block of S'_w extends it).
+        holders_of_prefix: Dict[Tuple[int, ...], set] = {}
+        for w in range(n):
+            for b in self.distribution.augmented_blocks_of(w, naming.name_of(w)):
+                pref = self.blocks.block_prefix(b)
+                for i in range(1, k):
+                    holders_of_prefix.setdefault(pref[:i], set()).add(w)
+        # (3a) prefix rows: (prefix, level) -> (waypoint vertex, R2).
+        # Rows are keyed by the *target* (i+1)-prefix they resolve,
+        # which is equivalent to the paper's (own block, i, tau) keying
+        # but avoids storing duplicate rows for blocks sharing prefixes.
+        self._rows: List[Dict[Tuple[Tuple[int, ...], int], Tuple[int, R2Label]]] = [
+            dict() for _ in range(n)
+        ]
+        # (3b) final rows: full name -> (dest vertex, R2).
+        self._final: List[Dict[int, Tuple[int, R2Label]]] = [
+            dict() for _ in range(n)
+        ]
+        for u in range(n):
+            own_blocks = self.distribution.augmented_blocks_of(
+                u, naming.name_of(u)
+            )
+            for b in own_blocks:
+                pref = self.blocks.block_prefix(b)
+                for i in range(k - 1):
+                    for tau in range(self.blocks.q):
+                        target = pref[:i] + (tau,)
+                        key = (target, i)
+                        if key in self._rows[u]:
+                            continue
+                        holder_set = holders_of_prefix.get(target)
+                        if not holder_set:
+                            continue
+                        v = self._nearest_in(u, holder_set)
+                        label = self.spanner.r2(u, v) if v != u else None
+                        self._rows[u][key] = (v, label)
+                for tau in range(self.blocks.q):
+                    full = pref + (tau,)
+                    name = self.blocks.from_digits(full)
+                    if not self.blocks.is_name(name):
+                        continue
+                    v = naming.vertex_of(name)
+                    label = self.spanner.r2(u, v) if v != u else None
+                    self._final[u][name] = (v, label)
+
+    def _nearest_in(self, u: int, candidates: set) -> int:
+        """First vertex of ``Init_u`` belonging to ``candidates``."""
+        for w in self._metric.init_order(u):
+            if w in candidates:
+                return w
+        raise ConstructionError("empty candidate set")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        return self._metric.oracle.graph
+
+    @property
+    def metric(self) -> RoundtripMetric:
+        """The roundtrip metric."""
+        return self._metric
+
+    def name_of(self, vertex: int) -> int:
+        return self._naming.name_of(vertex)
+
+    def vertex_of(self, name: int) -> int:
+        return self._naming.vertex_of(name)
+
+    def stretch_bound(self) -> float:
+        """The end-to-end bound with our substrate:
+        ``(2^k - 1) * (8k - 3)`` (Theorem 9 shape)."""
+        return (2.0 ** self.k - 1.0) * (8.0 * self.k - 3.0)
+
+    # ------------------------------------------------------------------
+    # waypoint computation (Fig. 4's NextStop, packet-time legal)
+    # ------------------------------------------------------------------
+    def _next_stop(
+        self, at: int, hop: int, dest_name: int
+    ) -> Tuple[int, Optional[R2Label]]:
+        """The next waypoint from ``at`` given the current hop index
+        (the packet has matched ``hop - 1`` digits so far).
+
+        Returns:
+            ``(vertex, label)``; ``label`` is ``None`` when the next
+            waypoint is ``at`` itself (no travel needed).
+        """
+        digits = self.blocks.digits(dest_name)
+        if hop >= self.k:
+            entry = self._final[at].get(dest_name)
+            if entry is None:
+                raise TableLookupError(
+                    f"final row for name {dest_name} missing at {at}"
+                )
+            return entry
+        target = digits[:hop]
+        entry = self._rows[at].get((target, hop - 1))
+        if entry is None:
+            raise TableLookupError(
+                f"prefix row {target} missing at {at} "
+                "(Lemma 4 coverage violated?)"
+            )
+        return entry
+
+    # ------------------------------------------------------------------
+    # forwarding (Fig. 6)
+    # ------------------------------------------------------------------
+    def forward(self, at: int, header: Header) -> Decision:
+        mode = header["mode"]
+        if mode == NEW_PACKET:
+            header = self._start_outbound(at, header)
+        elif mode == RETURN_PACKET:
+            header = self._start_inbound(at, header)
+
+        # Delivery checks come before waypoint processing so the final
+        # pop is never attempted at the source itself.  Outbound
+        # delivery requires the destination to be the current waypoint:
+        # merely walking over it mid-hop (as tree infrastructure) must
+        # not deliver, because the return leg could then start in a
+        # tree where the destination holds no routing state.
+        if (
+            header["mode"] == _OUTBOUND
+            and self.name_of(at) == header["dest"]
+            and at == header["next_id"]
+        ):
+            return Deliver(header)
+        if header["mode"] == _INBOUND and at == header["src_id"]:
+            return Deliver(header)
+
+        if header["mode"] == _OUTBOUND and at == header["next_id"]:
+            header = self._advance_waypoint(at, header)
+        elif header["mode"] == _INBOUND and at == header["next_id"]:
+            header = self._pop_waypoint(at, header)
+
+        label: R2Label = header["label"]
+        port, phase = self.spanner.hop_step(at, label, header["phase"])
+        if port is None:
+            # Arrived at the current waypoint; reprocess immediately.
+            return self.forward(at, header)
+        out = dict(header)
+        out["phase"] = phase
+        return Forward(port, out)
+
+    def _start_outbound(self, at: int, header: Header) -> Header:
+        dest_name = header["dest"]
+        if self.name_of(at) == dest_name:
+            raise TableLookupError("packet injected at its own destination")
+        base: Header = {
+            "mode": _OUTBOUND,
+            "dest": dest_name,
+            "src_id": at,
+            "hop": 0,
+            "stack": [],
+            "next_id": at,
+            "label": None,
+            "phase": "",
+        }
+        # Direct shortcut: destination is a level-1 neighbor (storage 2).
+        near = self._near[at].get(dest_name)
+        if near is not None:
+            base["hop"] = self.k
+            base["next_id"] = self.vertex_of(dest_name)
+            base["label"] = near
+            base["phase"] = self.spanner.begin_hop(at, near)
+            base["stack"] = [(at, near)]
+            return base
+        return self._advance_waypoint(at, base)
+
+    def _advance_waypoint(self, at: int, header: Header) -> Header:
+        """At waypoint ``v_i``: compute ``v_{i+1}``, push the return
+        handshake, and aim the packet (skipping self-waypoints)."""
+        out = dict(header)
+        hop = out["hop"]
+        while True:
+            hop += 1
+            if hop > self.k:
+                raise TableLookupError(
+                    "waypoint advance overran the prefix ladder"
+                )
+            nxt, label = self._next_stop(at, hop, out["dest"])
+            if nxt != at:
+                break
+        out["hop"] = hop
+        out["next_id"] = nxt
+        out["label"] = label
+        out["phase"] = self.spanner.begin_hop(at, label)
+        stack = list(out["stack"])
+        stack.append((at, label))
+        out["stack"] = stack
+        return out
+
+    def _start_inbound(self, at: int, header: Header) -> Header:
+        out = dict(header)
+        out["mode"] = _INBOUND
+        return self._pop_waypoint(at, out)
+
+    def _pop_waypoint(self, at: int, header: Header) -> Header:
+        out = dict(header)
+        stack = list(out["stack"])
+        if not stack:
+            raise TableLookupError("return stack empty before reaching source")
+        prev_id, label = stack.pop()
+        out["stack"] = stack
+        out["next_id"] = prev_id
+        rev = label.reversed()
+        out["label"] = rev
+        out["phase"] = self.spanner.begin_hop(at, rev)
+        return out
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def table_entries(self, vertex: int) -> int:
+        return (
+            len(self._near[vertex])
+            + len(self._rows[vertex])
+            + len(self._final[vertex])
+            + self.spanner.table_entries(vertex)
+        )

@@ -1,0 +1,300 @@
+"""The PolynomialStretch TINN scheme (Section 4, Figs. 9-11).
+
+The polynomial space/stretch tradeoff: route inside increasingly tall
+home double-trees, prefix-matching the destination name within each
+tree through the tree's center, until a level is reached whose home
+tree contains the destination; stretch is at most ``8k^2 + 4k - 4``.
+
+Per-node storage (Section 4.1), at node ``u``, for every level and
+every double tree ``C`` containing ``u``:
+
+* an identifier of ``u``'s home double-tree per level;
+* ``TreeTab(C, u)`` and ``TreeR(C, u)`` (tree-routing state: accounted
+  through the hierarchy) and the first link toward ``RTCenter(C)``;
+* for every position ``j < k`` and digit ``tau``: ``TreeR(C, v)`` for
+  the nearest ``v`` in ``C`` with ``prefix_j(v) == prefix_j(u)`` and
+  digit ``j+1`` equal to ``tau``, if such a ``v`` exists.
+
+Routing (Fig. 11): at the current node ``c`` with match length ``h``
+against the destination name, the usable dictionary row is
+``(h, digit_{h+1}(t))`` — it names a node matching at least ``h + 1``
+digits.  A missing row means the destination is not in this tree:
+the packet returns to the source and the search restarts one level up
+(the level doubling that caps total cost at twice the last level's).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.covers.double_tree import DoubleTree
+from repro.covers.hierarchy import TreeHierarchy
+from repro.exceptions import ConstructionError, TableLookupError
+from repro.graph.digraph import Digraph
+from repro.graph.roundtrip import RoundtripMetric
+from repro.naming.blocks import BlockSpace
+from repro.naming.permutation import Naming
+from repro.runtime.scheme import (
+    Decision,
+    Deliver,
+    Forward,
+    Header,
+    NEW_PACKET,
+    RETURN_PACKET,
+    RoutingScheme,
+)
+from repro.runtime.sizing import id_bits
+from repro.tree_routing.fixed_port import TreeAddress
+
+#: internal modes (Fig. 11 uses a single Enroute mode; we keep the
+#: outbound/inbound distinction only for the acknowledgment leg)
+_ENROUTE = "pse"
+_INBOUND = "psi"
+
+#: hop phases within a double tree
+_UP = "pu"
+_DOWN = "pd"
+
+
+class PolynomialStretchScheme(RoutingScheme):
+    """Section 4's polynomial-tradeoff TINN roundtrip scheme.
+
+    Args:
+        metric: roundtrip metric.
+        naming: adversarial node naming.
+        k: tradeoff parameter (``k >= 2``).
+        rng: reserved for interface symmetry (construction is
+            deterministic given the hierarchy).
+        hierarchy: optionally share a pre-built :class:`TreeHierarchy`.
+    """
+
+    name = "polystretch (TINN)"
+
+    def __init__(
+        self,
+        metric: RoundtripMetric,
+        naming: Naming,
+        k: int = 2,
+        rng: Optional[random.Random] = None,
+        hierarchy: Optional[TreeHierarchy] = None,
+    ):
+        if k < 2:
+            raise ConstructionError(
+                f"PolynomialStretch requires k >= 2, got {k}"
+            )
+        n = metric.n
+        self._metric = metric
+        self._naming = naming
+        self.k = k
+        self.blocks = BlockSpace(n, k)
+        self.hierarchy = hierarchy or TreeHierarchy(metric, k)
+
+        # Home-tree ids per (vertex, level).
+        self._home_id: List[List[int]] = [
+            [
+                self.hierarchy.home_tree(v, level).tree_id
+                for level in range(self.hierarchy.num_levels)
+            ]
+            for v in range(n)
+        ]
+        # Per-tree dictionaries: rows[(tree_id, u)][(j, tau)] =
+        # (vertex, TreeAddress) of the nearest matching member.
+        self._rows: Dict[
+            Tuple[int, int], Dict[Tuple[int, int], Tuple[int, TreeAddress]]
+        ] = {}
+        for cov in self.hierarchy.levels:
+            for tree in cov.trees:
+                self._index_tree(tree)
+
+    def _index_tree(self, tree: DoubleTree) -> None:
+        """Build the (j, tau) dictionary rows for every member of one
+        tree: group members by (position, shared prefix, digit) once,
+        then pick each member's nearest match per group."""
+        members = tree.members
+        digits = {
+            v: self.blocks.digits(self._naming.name_of(v)) for v in members
+        }
+        groups: Dict[Tuple[int, Tuple[int, ...], int], List[int]] = {}
+        for v in members:
+            d = digits[v]
+            for j in range(self.k):
+                groups.setdefault((j, d[:j], d[j]), []).append(v)
+        for u in members:
+            rows: Dict[Tuple[int, int], Tuple[int, TreeAddress]] = {}
+            d_u = digits[u]
+            for j in range(self.k):
+                prefix = d_u[:j]
+                for tau in range(self.blocks.q):
+                    candidates = [
+                        v
+                        for v in groups.get((j, prefix, tau), [])
+                        if v != u
+                    ]
+                    if not candidates:
+                        continue
+                    v = self._metric.nearest(u, candidates)
+                    rows[(j, tau)] = (v, tree.address_of(v))
+            self._rows[(tree.tree_id, u)] = rows
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        return self._metric.oracle.graph
+
+    @property
+    def metric(self) -> RoundtripMetric:
+        """The roundtrip metric."""
+        return self._metric
+
+    def name_of(self, vertex: int) -> int:
+        return self._naming.name_of(vertex)
+
+    def vertex_of(self, name: int) -> int:
+        return self._naming.vertex_of(name)
+
+    def stretch_bound(self) -> float:
+        """Section 4.3's bound ``8k^2 + 4k - 4``."""
+        return 8.0 * self.k * self.k + 4.0 * self.k - 4.0
+
+    # ------------------------------------------------------------------
+    # NextNode (Section 4.2, packet-time legal)
+    # ------------------------------------------------------------------
+    def _next_node(
+        self, c: int, tree_id: int, dest_name: int
+    ) -> Optional[Tuple[int, TreeAddress]]:
+        """The next waypoint from ``c`` inside tree ``tree_id``, or
+        ``None`` when the tree lacks a longer-prefix match (failure:
+        return to source and climb a level)."""
+        h = self.blocks.match_length(self._naming.name_of(c), dest_name)
+        tau = self.blocks.digits(dest_name)[h]
+        return self._rows.get((tree_id, c), {}).get((h, tau))
+
+    # ------------------------------------------------------------------
+    # forwarding (Fig. 11)
+    # ------------------------------------------------------------------
+    def forward(self, at: int, header: Header) -> Decision:
+        mode = header["mode"]
+        if mode == NEW_PACKET:
+            header = self._start_level(at, header["dest"], level=0)
+        elif mode == RETURN_PACKET:
+            header = self._start_return(at, header)
+
+        # Deliver only when the destination is the current waypoint:
+        # walking over it as tree infrastructure mid-hop must not
+        # deliver, or the acknowledgment would start inside a tree
+        # where the destination holds no routing state.
+        if (
+            header["mode"] == _ENROUTE
+            and self.name_of(at) == header["dest"]
+            and at == header["next_id"]
+        ):
+            return Deliver(header)
+        if header["mode"] == _INBOUND and at == header["src_id"]:
+            return Deliver(header)
+
+        if at == header["next_id"]:
+            # Waypoint reached without being the endpoint: pick the next
+            # waypoint in this tree, fail upward, or (inbound) done.
+            if header["mode"] == _INBOUND:
+                raise TableLookupError(
+                    "inbound packet stalled before the source"
+                )
+            if at == header["src_id"] and header["returning"]:
+                # Failed search came home: climb one level.
+                header = self._start_level(
+                    at, header["dest"], header["level"] + 1
+                )
+            else:
+                header = self._advance(at, header)
+
+        port, phase = self._tree_step(
+            at, header["tree_id"], header["next_addr"], header["phase"]
+        )
+        if port is None:
+            return self.forward(at, header)
+        out = dict(header)
+        out["phase"] = phase
+        return Forward(port, out)
+
+    def _start_level(self, src: int, dest_name: int, level: int) -> Header:
+        """Begin (or restart) the search at ``level``."""
+        if level >= self.hierarchy.num_levels:
+            raise TableLookupError(
+                "search exhausted all levels; hierarchy is broken"
+            )
+        tree_id = self._home_id[src][level]
+        tree = self.hierarchy.tree_by_id(tree_id)
+        header: Header = {
+            "mode": _ENROUTE,
+            "dest": dest_name,
+            "src_id": src,
+            "src_addr": tree.address_of(src),
+            "level": level,
+            "tree_id": tree_id,
+            "returning": False,
+            "next_id": src,
+            "next_addr": tree.address_of(src),
+            "phase": _UP,
+        }
+        return self._advance(src, header)
+
+    def _advance(self, at: int, header: Header) -> Header:
+        """At a waypoint: aim at the next prefix-matching node, or turn
+        back to the source on failure."""
+        out = dict(header)
+        entry = self._next_node(at, out["tree_id"], out["dest"])
+        if entry is None:
+            # Failure in this tree: return to the source (footnote 6).
+            out["returning"] = True
+            out["next_id"] = out["src_id"]
+            out["next_addr"] = out["src_addr"]
+            out["phase"] = _UP
+            return out
+        nxt, addr = entry
+        out["returning"] = False
+        out["next_id"] = nxt
+        out["next_addr"] = addr
+        out["phase"] = _UP
+        return out
+
+    def _start_return(self, at: int, header: Header) -> Header:
+        """The acknowledgment: one extra trip through the center back
+        to the source, inside the tree that succeeded (Fig. 10)."""
+        out = dict(header)
+        out["mode"] = _INBOUND
+        out["next_id"] = out["src_id"]
+        out["next_addr"] = out["src_addr"]
+        out["phase"] = _UP
+        return out
+
+    def _tree_step(
+        self, at: int, tree_id: int, target: TreeAddress, phase: str
+    ) -> Tuple[Optional[int], str]:
+        """One in-tree forwarding decision (up to the center, then down
+        the out-tree)."""
+        tree = self.hierarchy.tree_by_id(tree_id)
+        if phase == _UP:
+            at_addr = (
+                tree.address_of(at) if tree.out_tree.contains(at) else None
+            )
+            if at_addr == target:
+                return None, phase
+            if at == tree.root:
+                phase = _DOWN
+            else:
+                return tree.in_pointers.next_port(at), _UP
+        if phase == _DOWN:
+            return tree.out_tree.next_port(at, target), _DOWN
+        raise TableLookupError(f"unknown tree phase {phase!r}")
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def table_entries(self, vertex: int) -> int:
+        total = len(self._home_id[vertex])  # home ids per level
+        for cov in self.hierarchy.levels:
+            for tree in cov.trees_containing(vertex):
+                total += len(self._rows.get((tree.tree_id, vertex), {}))
+        total += self.hierarchy.table_entries_at(vertex)
+        return total

@@ -1,0 +1,78 @@
+"""Shortest-path baseline: stretch 1, linear tables.
+
+The trivial comparison point for Fig. 1: every node stores a next-hop
+port for every destination *name* (``n - 1`` entries), giving optimal
+one-way paths in both directions and hence roundtrip stretch exactly 1.
+Its tables are linear in ``n`` — precisely what compact schemes exist
+to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.digraph import Digraph
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import Naming
+from repro.runtime.scheme import (
+    Decision,
+    Deliver,
+    Forward,
+    Header,
+    RoutingScheme,
+)
+
+
+class ShortestPathScheme(RoutingScheme):
+    """Full-table optimal routing (the non-compact baseline).
+
+    Args:
+        oracle: distance oracle of the graph.
+        naming: adversarial node naming.
+    """
+
+    name = "shortest-path"
+
+    def __init__(self, oracle: DistanceOracle, naming: Naming):
+        self._oracle = oracle
+        self._naming = naming
+        g = oracle.graph
+        # table[u][dest_name] = port
+        self._table: List[Dict[int, int]] = [dict() for _ in range(g.n)]
+        for u in range(g.n):
+            for t in range(g.n):
+                if u == t:
+                    continue
+                nxt = oracle.next_hop(u, t)
+                self._table[u][naming.name_of(t)] = g.port_of(u, nxt)
+
+    @property
+    def graph(self) -> Digraph:
+        return self._oracle.graph
+
+    def name_of(self, vertex: int) -> int:
+        return self._naming.name_of(vertex)
+
+    def vertex_of(self, name: int) -> int:
+        return self._naming.vertex_of(name)
+
+    def forward(self, at: int, header: Header) -> Decision:
+        mode = header["mode"]
+        if mode == "ret":
+            # The acknowledgment simply targets the original source.
+            out = dict(header)
+            out["mode"] = "back"
+            out["dest"], out["src"] = out["src"], out["dest"]
+            header = out
+        elif mode == "new":
+            out = dict(header)
+            out["mode"] = "out"
+            out["src"] = self._naming.name_of(at)
+            header = out
+        dest_name = header["dest"]
+        if self._naming.name_of(at) == dest_name:
+            return Deliver(header)
+        return Forward(self._table[at][dest_name], header)
+
+    def table_entries(self, vertex: int) -> int:
+        return len(self._table[vertex])

@@ -1,0 +1,219 @@
+"""The stretch-6 TINN roundtrip scheme (Section 2, Fig. 3).
+
+The paper's first headline result: topology-independent names,
+``~O(sqrt n)`` tables, ``O(log^2 n)`` headers, roundtrip stretch 6.
+
+Per-node storage (Section 2.1), at node ``u``:
+
+1. for every ``v`` in the roundtrip neighborhood ``N(u)`` (first
+   ``ceil(sqrt n)`` of ``Init_u``): ``(name(v), R3(v))``;
+2. for every block index ``i``: the neighbor ``t in N(u)`` holding
+   block ``B_i`` (exists by Lemma 1);
+3. for every block in ``S_u`` and every name ``j`` in it:
+   ``(j, R3(vertex(j)))`` — the dictionary slice ``u`` serves;
+4. ``Tab3(u)`` — the Lemma 2 substrate tables.
+
+Routing ``s -> t``: if ``R3(t)`` is known locally (cases 1/3) route the
+leg directly; otherwise route to the dictionary node ``w`` (case 2),
+read ``R3(t)`` there, and continue — three Lemma 2 legs
+(``s -> w -> t`` then ``t -> s`` using ``R3(s)`` carried in the
+header), each bounded by ``r + d``, giving stretch 6 (Lemma 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.dictionary.distribution import BlockDistribution
+from repro.exceptions import ConstructionError, TableLookupError
+from repro.graph.digraph import Digraph
+from repro.graph.roundtrip import RoundtripMetric
+from repro.naming.blocks import BlockSpace, sqrt_block_space
+from repro.naming.permutation import Naming
+from repro.runtime.scheme import (
+    Decision,
+    Deliver,
+    Forward,
+    Header,
+    NEW_PACKET,
+    RETURN_PACKET,
+    RoutingScheme,
+)
+from repro.rtz.routing import R3Label, RTZStretch3
+
+#: internal modes (Fig. 3's Outbound/Inbound)
+_OUTBOUND = "s6o"
+_INBOUND = "s6i"
+
+
+class StretchSixScheme(RoutingScheme):
+    """Section 2's TINN compact roundtrip routing scheme.
+
+    Args:
+        metric: roundtrip metric (its tie-break ids should be the
+            naming's names for full TINN fidelity).
+        naming: adversarial node naming.
+        rng: randomness for landmark sampling and block distribution.
+        substrate: optionally share a pre-built :class:`RTZStretch3`.
+        blocks_per_node: override the dictionary sampling budget
+            (defaults to the Lemma 1 ``O(log n)`` constant; on small
+            test graphs that default stores every block everywhere, so
+            tests pass a smaller value to exercise remote lookups).
+    """
+
+    name = "stretch-6 (TINN)"
+
+    #: worst-case roundtrip stretch proved in Lemma 3
+    STRETCH_BOUND = 6.0
+
+    def __init__(
+        self,
+        metric: RoundtripMetric,
+        naming: Naming,
+        rng: Optional[random.Random] = None,
+        substrate: Optional[RTZStretch3] = None,
+        blocks_per_node: Optional[int] = None,
+    ):
+        rng = rng or random.Random(0)
+        n = metric.n
+        if naming.n != n:
+            raise ConstructionError(
+                f"naming covers {naming.n} nodes, graph has {n}"
+            )
+        self._metric = metric
+        self._naming = naming
+        self.rtz = substrate or RTZStretch3(metric, rng)
+        self.blocks: BlockSpace = sqrt_block_space(n)
+        self.distribution = BlockDistribution(
+            metric, self.blocks, rng, blocks_per_node=blocks_per_node
+        )
+
+        # (1) neighborhood labels: per node, name -> R3 label.
+        self._near: List[Dict[int, R3Label]] = [dict() for _ in range(n)]
+        for u in range(n):
+            for v in metric.sqrt_neighborhood(u):
+                self._near[u][naming.name_of(v)] = self.rtz.label(v)
+        # (2) block pointers: per node, block index -> dictionary vertex.
+        self._block_ptr: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for u in range(n):
+            for b in range(self.blocks.num_blocks()):
+                tau = self.blocks.block_prefix(b)
+                holder = self.distribution.holder_in_neighborhood(u, 1, tau)
+                self._block_ptr[u][b] = holder
+        # (3) dictionary slices: per node, name -> R3 label for every
+        # name in every stored block.
+        self._dict: List[Dict[int, R3Label]] = [dict() for _ in range(n)]
+        for u in range(n):
+            for b in self.distribution.blocks_of(u):
+                for j in self.blocks.block_members(b):
+                    self._dict[u][j] = self.rtz.label(naming.vertex_of(j))
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        return self._metric.oracle.graph
+
+    @property
+    def metric(self) -> RoundtripMetric:
+        """The roundtrip metric."""
+        return self._metric
+
+    def name_of(self, vertex: int) -> int:
+        return self._naming.name_of(vertex)
+
+    def vertex_of(self, name: int) -> int:
+        return self._naming.vertex_of(name)
+
+    # ------------------------------------------------------------------
+    # local lookups (packet-time legal: only u's own tables)
+    # ------------------------------------------------------------------
+    def _lookup_r3(self, u: int, dest_name: int) -> Optional[R3Label]:
+        """``GetR3Label`` of Fig. 3: cases (1) then (3)."""
+        label = self._near[u].get(dest_name)
+        if label is None:
+            label = self._dict[u].get(dest_name)
+        return label
+
+    def _lookup_dict_node(self, u: int, dest_name: int) -> int:
+        """``GetLookupNodeID`` of Fig. 3 (case 2)."""
+        block = self.blocks.block_of(dest_name)
+        return self._block_ptr[u][block]
+
+    # ------------------------------------------------------------------
+    # forwarding (Fig. 3)
+    # ------------------------------------------------------------------
+    def forward(self, at: int, header: Header) -> Decision:
+        mode = header["mode"]
+        if mode == NEW_PACKET:
+            header = self._start_outbound(at, header)
+        elif mode == RETURN_PACKET:
+            src_label: R3Label = header["src_label"]
+            header = {
+                "mode": _INBOUND,
+                "dest": header["dest"],
+                "src_label": src_label,
+                "next_label": src_label,
+                "dict_node": None,
+                "leg": self.rtz.begin_leg(at, src_label),
+            }
+        elif mode == _OUTBOUND and at == header["dict_node"]:
+            # Remote dictionary lookup: this node serves the block.
+            dest_label = self._dict[at].get(header["dest"])
+            if dest_label is None:
+                raise TableLookupError(
+                    f"dictionary node {at} lacks entry for {header['dest']}"
+                )
+            header = dict(header)
+            header["dict_node"] = None
+            header["next_label"] = dest_label
+            header["leg"] = self.rtz.begin_leg(at, dest_label)
+
+        label: R3Label = header["next_label"]
+        port, leg_mode = self.rtz.leg_step(at, label, header["leg"])
+        if port is None:
+            # Arrived at the current leg's endpoint.
+            if header["mode"] == _OUTBOUND and header["dict_node"] is None:
+                return Deliver(header)
+            if header["mode"] == _INBOUND:
+                return Deliver(header)
+            # Arrived at the dictionary node: reprocess in this call.
+            return self.forward(at, header)
+        out = dict(header)
+        out["leg"] = leg_mode
+        return Forward(port, out)
+
+    def _start_outbound(self, at: int, header: Header) -> Header:
+        dest_name = header["dest"]
+        src_label = self.rtz.label(at)
+        dest_label = self._lookup_r3(at, dest_name)
+        if dest_label is not None:
+            return {
+                "mode": _OUTBOUND,
+                "dest": dest_name,
+                "src_label": src_label,
+                "next_label": dest_label,
+                "dict_node": None,
+                "leg": self.rtz.begin_leg(at, dest_label),
+            }
+        dict_node = self._lookup_dict_node(at, dest_name)
+        dict_label = self._near[at][self._naming.name_of(dict_node)]
+        return {
+            "mode": _OUTBOUND,
+            "dest": dest_name,
+            "src_label": src_label,
+            "next_label": dict_label,
+            "dict_node": dict_node,
+            "leg": self.rtz.begin_leg(at, dict_label),
+        }
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def table_entries(self, vertex: int) -> int:
+        return (
+            len(self._near[vertex])
+            + len(self._block_ptr[vertex])
+            + len(self._dict[vertex])
+            + self.rtz.table_entries(vertex)
+        )

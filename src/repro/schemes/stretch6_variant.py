@@ -1,0 +1,122 @@
+"""The Section 2.2 remark variant: return through the source.
+
+"We also note that the algorithm could operate by routing from s to w
+and back to s, before routing to t and back.  This would be slightly
+simpler to analyze and would result in the same worst-case stretch.
+However it can result in longer paths..."
+
+This class implements that variant as a full scheme so the ablation
+(E13) can compare *deployed* packet journeys, not just leg-length
+arithmetic.  The outbound journey is ``s -> w -> s -> t`` (dictionary
+roundtrip first, then the real trip), the acknowledgment is ``t -> s``
+as usual; worst-case stretch is still 6 by the paper's remark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import TableLookupError
+from repro.graph.roundtrip import RoundtripMetric
+from repro.naming.permutation import Naming
+from repro.runtime.scheme import (
+    Decision,
+    Deliver,
+    Forward,
+    Header,
+    NEW_PACKET,
+    RETURN_PACKET,
+)
+from repro.rtz.routing import R3Label, RTZStretch3
+from repro.schemes.stretch6 import StretchSixScheme
+
+#: variant modes: dictionary roundtrip out / back, then final trip
+_TO_DICT = "v6d"
+_BACK_HOME = "v6b"
+_OUTBOUND = "v6o"
+_INBOUND = "v6i"
+
+
+class StretchSixViaSourceScheme(StretchSixScheme):
+    """Section 2.2's analyze-simpler variant (``s -> w -> s -> t``).
+
+    Construction and storage are identical to
+    :class:`StretchSixScheme`; only the journey shape differs.
+    """
+
+    name = "stretch-6 via-source (TINN)"
+
+    def forward(self, at: int, header: Header) -> Decision:
+        mode = header["mode"]
+        if mode == NEW_PACKET:
+            header = self._variant_start(at, header)
+        elif mode == RETURN_PACKET:
+            src_label: R3Label = header["src_label"]
+            header = {
+                "mode": _INBOUND,
+                "dest": header["dest"],
+                "src_label": src_label,
+                "next_label": src_label,
+                "dict_node": None,
+                "leg": self.rtz.begin_leg(at, src_label),
+            }
+        elif mode == _TO_DICT and at == header["dict_node"]:
+            # at the dictionary node: fetch the destination label, then
+            # head home before using it
+            dest_label = self._dict[at].get(header["dest"])
+            if dest_label is None:
+                raise TableLookupError(
+                    f"dictionary node {at} lacks entry for {header['dest']}"
+                )
+            src_label: R3Label = header["src_label"]
+            header = dict(header)
+            header["mode"] = _BACK_HOME
+            header["fetched"] = dest_label
+            header["next_label"] = src_label
+            header["leg"] = self.rtz.begin_leg(at, src_label)
+        elif mode == _BACK_HOME and at == header["src_label"].dest:
+            # home again: now make the real trip with the fetched label
+            fetched: R3Label = header["fetched"]
+            header = dict(header)
+            header["mode"] = _OUTBOUND
+            header["dict_node"] = None
+            header["next_label"] = fetched
+            header["leg"] = self.rtz.begin_leg(at, fetched)
+
+        label: R3Label = header["next_label"]
+        port, leg_mode = self.rtz.leg_step(at, label, header["leg"])
+        if port is None:
+            if header["mode"] == _OUTBOUND:
+                return Deliver(header)
+            if header["mode"] == _INBOUND:
+                return Deliver(header)
+            # arrived at the dictionary node or back home: reprocess
+            return self.forward(at, header)
+        out = dict(header)
+        out["leg"] = leg_mode
+        return Forward(port, out)
+
+    def _variant_start(self, at: int, header: Header) -> Header:
+        dest_name = header["dest"]
+        src_label = self.rtz.label(at)
+        dest_label = self._lookup_r3(at, dest_name)
+        if dest_label is not None:
+            return {
+                "mode": _OUTBOUND,
+                "dest": dest_name,
+                "src_label": src_label,
+                "next_label": dest_label,
+                "dict_node": None,
+                "leg": self.rtz.begin_leg(at, dest_label),
+            }
+        dict_node = self._lookup_dict_node(at, dest_name)
+        dict_label = self._near[at][self._naming.name_of(dict_node)]
+        return {
+            "mode": _TO_DICT,
+            "dest": dest_name,
+            "src_label": src_label,
+            "next_label": dict_label,
+            "dict_node": dict_node,
+            "leg": self.rtz.begin_leg(at, dict_label),
+        }

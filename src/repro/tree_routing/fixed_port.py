@@ -1,0 +1,301 @@
+"""Fixed-port tree routing — the Lemma 14 substrate.
+
+Lemma 14 (Thorup-Zwick / Fraigniaud-Gavoille) promises: for any tree
+``T`` with root ``r`` there is a routing scheme that routes along the
+optimal root-to-node path in the fixed-port model, with ``~O(1)``
+storage per node and ``O(log^2 n)`` addresses.
+
+We implement the classical *DFS interval routing* variant:
+
+* each tree node gets a DFS entry time; the address of ``x`` is its
+  DFS number (``O(log n)`` bits — even smaller than the lemma needs);
+* each node stores, for each child edge, the DFS interval covered by
+  that subtree along with the fixed port of the edge.
+
+Routes are identical to the lemma's (exact root-to-node tree paths).
+The storage per node is ``O(deg_T(x))`` words rather than ``~O(1)``;
+this substitution is documented in DESIGN.md and its cost is visible in
+the measured table sizes (never hidden behind an asymptotic claim).
+
+The tree edges live in the underlying digraph ``G``: an *out-tree* is a
+shortest-path tree away from the root (used to route root -> node), and
+the companion *in-structure* is simply a next-hop pointer per node
+toward the root (used to route node -> root), built from shortest
+paths into the root.  :class:`DoubleTreeRouter` in
+``repro.covers.double_tree`` combines the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConstructionError, TableLookupError
+from repro.graph.digraph import Digraph
+
+
+@dataclass(frozen=True)
+class TreeAddress:
+    """The routing address of a node within one out-tree.
+
+    Attributes:
+        tree_id: identifier of the tree (unique within a scheme).
+        dfs: the node's DFS entry number within the tree.
+    """
+
+    tree_id: int
+    dfs: int
+
+    def bit_size(self, n: int) -> int:
+        """Approximate encoded size in bits (two log-sized fields)."""
+        logn = max(1, (max(n, 2) - 1).bit_length())
+        return 2 * logn
+
+    def header_bits(self, n: int) -> int:
+        """Sizing-protocol alias for :meth:`bit_size`."""
+        return self.bit_size(n)
+
+
+@dataclass
+class _NodeTable:
+    """Per-node routing rows for one tree (interval routing)."""
+
+    #: DFS entry time of this node.
+    dfs: int
+    #: exclusive end of this node's subtree interval
+    dfs_end: int
+    #: rows: (interval_lo, interval_hi_exclusive, port)
+    child_rows: List[Tuple[int, int, int]]
+
+
+class OutTreeRouter:
+    """Interval routing over a rooted out-tree embedded in ``G``.
+
+    Args:
+        g: the underlying (frozen) digraph; tree edges must exist in it.
+        root: root vertex.
+        parents: ``parents[v]`` is the tree parent of ``v``; ``-1`` both
+            for the root and for vertices *not* in this tree.
+        tree_id: identifier baked into addresses.
+
+    Raises:
+        ConstructionError: if a parent edge is missing from ``G`` or the
+            parent structure has a cycle.
+    """
+
+    def __init__(self, g: Digraph, root: int, parents: Sequence[int], tree_id: int):
+        self._g = g
+        self._root = root
+        self._tree_id = tree_id
+        n = g.n
+        children: Dict[int, List[int]] = {}
+        members = [root]
+        for v in range(n):
+            p = parents[v]
+            if v == root or p == -1:
+                continue
+            if not g.has_edge(p, v):
+                raise ConstructionError(
+                    f"tree edge ({p}, {v}) not present in the digraph"
+                )
+            children.setdefault(p, []).append(v)
+            members.append(v)
+        # DFS numbering (iterative; children in ascending vertex order
+        # for determinism).
+        dfs_of: Dict[int, int] = {}
+        dfs_end: Dict[int, int] = {}
+        counter = 0
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            v, processed = stack.pop()
+            if processed:
+                dfs_end[v] = counter
+                continue
+            if v in dfs_of:
+                raise ConstructionError("parent structure contains a cycle")
+            dfs_of[v] = counter
+            counter += 1
+            stack.append((v, True))
+            for c in sorted(children.get(v, []), reverse=True):
+                stack.append((c, False))
+        if len(dfs_of) != len(members):
+            raise ConstructionError("parent structure is disconnected from root")
+        self._dfs_of = dfs_of
+        self._tables: Dict[int, _NodeTable] = {}
+        for v in dfs_of:
+            rows = []
+            for c in sorted(children.get(v, [])):
+                rows.append((dfs_of[c], dfs_end[c], g.port_of(v, c)))
+            self._tables[v] = _NodeTable(dfs_of[v], dfs_end[v], rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        """The tree root vertex."""
+        return self._root
+
+    @property
+    def tree_id(self) -> int:
+        """The tree identifier."""
+        return self._tree_id
+
+    def members(self) -> List[int]:
+        """All vertices spanned by the tree."""
+        return sorted(self._dfs_of)
+
+    def contains(self, v: int) -> bool:
+        """Whether ``v`` is in the tree."""
+        return v in self._dfs_of
+
+    def address_of(self, v: int) -> TreeAddress:
+        """The routing address of tree member ``v``."""
+        try:
+            return TreeAddress(self._tree_id, self._dfs_of[v])
+        except KeyError as exc:
+            raise TableLookupError(
+                f"vertex {v} is not in tree {self._tree_id}"
+            ) from exc
+
+    def next_port(self, at: int, target: TreeAddress) -> Optional[int]:
+        """Forwarding decision at ``at`` toward ``target``.
+
+        Returns:
+            The fixed port to forward on, or ``None`` when ``at`` is the
+            target itself.
+
+        Raises:
+            TableLookupError: if ``at`` is not in the tree or the target
+                is not in ``at``'s subtree (interval routing can only
+                move *down* an out-tree).
+        """
+        if target.tree_id != self._tree_id:
+            raise TableLookupError(
+                f"address for tree {target.tree_id} used in tree {self._tree_id}"
+            )
+        table = self._tables.get(at)
+        if table is None:
+            raise TableLookupError(f"vertex {at} is not in tree {self._tree_id}")
+        if target.dfs == table.dfs:
+            return None
+        for (lo, hi, port) in table.child_rows:
+            if lo <= target.dfs < hi:
+                return port
+        raise TableLookupError(
+            f"target dfs {target.dfs} not under vertex {at} in tree "
+            f"{self._tree_id}"
+        )
+
+    def route(self, source: int, target: int) -> List[int]:
+        """Full vertex path from ``source`` down to ``target``
+        (preprocessing-time helper; packet-time movement goes through
+        the simulator)."""
+        addr = self.address_of(target)
+        path = [source]
+        at = source
+        while True:
+            port = self.next_port(at, addr)
+            if port is None:
+                return path
+            at = self._g.head_of_port(at, port)
+            path.append(at)
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def table_entries_at(self, v: int) -> int:
+        """Number of stored rows at ``v`` for this tree (2 scalars for
+        the own-interval plus one row per child)."""
+        table = self._tables.get(v)
+        if table is None:
+            return 0
+        return 2 + 3 * len(table.child_rows)
+
+
+def build_out_tree(
+    g: Digraph,
+    root: int,
+    parents: Sequence[int],
+    tree_id: int = 0,
+    restrict_to: Optional[Sequence[int]] = None,
+) -> OutTreeRouter:
+    """Build an :class:`OutTreeRouter`, optionally restricted to span a
+    member set.
+
+    When ``restrict_to`` is given, the tree is pruned to the union of
+    root-to-member paths (Steiner vertices on those paths are kept, as
+    Section 4's double-trees require).
+    """
+    if restrict_to is None:
+        return OutTreeRouter(g, root, parents, tree_id)
+    keep = set()
+    member_set = set(restrict_to) | {root}
+    for v in member_set:
+        x = v
+        while x != -1 and x not in keep:
+            keep.add(x)
+            if x == root:
+                break
+            x = parents[x]
+    pruned = [parents[v] if v in keep else -1 for v in range(g.n)]
+    pruned[root] = -1
+    return OutTreeRouter(g, root, pruned, tree_id)
+
+
+class ToRootPointers:
+    """The in-direction of a double tree: one next-hop port per node
+    toward the root along shortest paths into the root.
+
+    Args:
+        g: the digraph.
+        root: root vertex.
+        parents_to_root: ``parents_to_root[v]`` is the *successor* of
+            ``v`` on its path to the root (from a reverse Dijkstra), or
+            ``-1`` for vertices outside the structure.
+    """
+
+    def __init__(self, g: Digraph, root: int, parents_to_root: Sequence[int]):
+        self._g = g
+        self._root = root
+        self._port: Dict[int, int] = {}
+        for v in range(g.n):
+            succ = parents_to_root[v]
+            if v == root or succ == -1:
+                continue
+            if not g.has_edge(v, succ):
+                raise ConstructionError(
+                    f"in-tree edge ({v}, {succ}) not present in the digraph"
+                )
+            self._port[v] = g.port_of(v, succ)
+
+    @property
+    def root(self) -> int:
+        """The root vertex."""
+        return self._root
+
+    def contains(self, v: int) -> bool:
+        """Whether ``v`` has a pointer (the root trivially counts)."""
+        return v == self._root or v in self._port
+
+    def next_port(self, at: int) -> Optional[int]:
+        """Port toward the root, or ``None`` at the root."""
+        if at == self._root:
+            return None
+        try:
+            return self._port[at]
+        except KeyError as exc:
+            raise TableLookupError(
+                f"vertex {at} has no pointer toward root {self._root}"
+            ) from exc
+
+    def route(self, source: int) -> List[int]:
+        """Vertex path from ``source`` up to the root."""
+        path = [source]
+        at = source
+        while at != self._root:
+            at = self._g.head_of_port(at, self.next_port(at))
+            path.append(at)
+        return path
+
+    def table_entries_at(self, v: int) -> int:
+        """Stored rows at ``v`` (one port, or none)."""
+        return 1 if v in self._port else 0

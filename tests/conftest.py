@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import Digraph
+from repro.graph.generators import (
+    bidirected_torus,
+    directed_cycle,
+    random_dht_overlay,
+    random_strongly_connected,
+)
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+
+
+@pytest.fixture
+def triangle() -> Digraph:
+    """The smallest interesting strongly connected digraph."""
+    g = Digraph(3)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 2.0)
+    g.add_edge(2, 0, 3.0)
+    return g.freeze()
+
+
+@pytest.fixture
+def small_random() -> Digraph:
+    """A 24-node random strongly connected digraph (deterministic)."""
+    return random_strongly_connected(24, rng=random.Random(7))
+
+
+@pytest.fixture
+def medium_random() -> Digraph:
+    """A 64-node random strongly connected digraph (deterministic)."""
+    return random_strongly_connected(64, rng=random.Random(11))
+
+
+@pytest.fixture
+def small_cycle() -> Digraph:
+    return directed_cycle(12, rng=random.Random(3))
+
+
+@pytest.fixture
+def small_torus() -> Digraph:
+    return bidirected_torus(4, 4, rng=random.Random(5))
+
+
+@pytest.fixture
+def small_dht() -> Digraph:
+    return random_dht_overlay(20, rng=random.Random(9))
+
+
+@pytest.fixture
+def small_oracle(small_random: Digraph) -> DistanceOracle:
+    return DistanceOracle(small_random)
+
+
+@pytest.fixture
+def small_metric(small_oracle: DistanceOracle) -> RoundtripMetric:
+    return RoundtripMetric(small_oracle)

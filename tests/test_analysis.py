@@ -1,0 +1,120 @@
+"""Tests for the analysis/experiment harness."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import (
+    Instance,
+    assert_rows_sound,
+    default_factories,
+    fig1_comparison,
+    format_rows,
+    log_log_slope,
+    table_scaling,
+)
+from repro.analysis.stretch import stretch_distribution
+from repro.graph.generators import random_strongly_connected
+from repro.naming.permutation import identity_naming
+from repro.schemes.shortest_path import ShortestPathScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+class TestFig1Harness:
+    def test_rows_complete_and_sound(self):
+        g = random_strongly_connected(20, rng=random.Random(1))
+        rows = fig1_comparison(g, seed=2, sample_pairs=100)
+        assert {r.scheme for r in rows} == {
+            "shortest-path",
+            "rtz-3 (name-dep)",
+            "stretch-6 (TINN)",
+            "exstretch (TINN)",
+            "polystretch (TINN)",
+        }
+        assert_rows_sound(rows)
+
+    def test_tinn_column(self):
+        g = random_strongly_connected(16, rng=random.Random(3))
+        rows = fig1_comparison(g, seed=4, sample_pairs=60)
+        by = {r.scheme: r for r in rows}
+        assert not by["shortest-path"].name_independent
+        assert not by["rtz-3 (name-dep)"].name_independent
+        assert by["stretch-6 (TINN)"].name_independent
+        assert by["exstretch (TINN)"].name_independent
+        assert by["polystretch (TINN)"].name_independent
+
+    def test_format_rows_prints_every_scheme(self):
+        g = random_strongly_connected(14, rng=random.Random(5))
+        rows = fig1_comparison(g, seed=6, sample_pairs=40)
+        text = format_rows(rows)
+        for r in rows:
+            assert r.scheme in text
+
+    def test_factories_build_all(self):
+        g = random_strongly_connected(12, rng=random.Random(7))
+        inst = Instance.prepare(g, 8)
+        for label, factory in default_factories().items():
+            scheme, bound = factory(inst, random.Random(9))
+            assert bound >= 1.0
+            assert scheme.graph.n == 12
+
+
+class TestScaling:
+    def test_sqrt_vs_linear_slopes(self):
+        sizes = [16, 36, 64]
+
+        def family(n, rng):
+            return random_strongly_connected(n, rng=rng)
+
+        def build_s6(inst, rng):
+            return StretchSixScheme(inst.metric, inst.naming, rng=rng)
+
+        def build_sp(inst, rng):
+            return ShortestPathScheme(inst.oracle, inst.naming)
+
+        sqrt_points = table_scaling(family, sizes, build_s6)
+        lin_points = table_scaling(family, sizes, build_sp)
+        sqrt_slope = log_log_slope(sqrt_points)
+        lin_slope = log_log_slope(lin_points)
+        assert lin_slope == pytest.approx(1.0, abs=0.05)
+        assert sqrt_slope < lin_slope  # compact grows strictly slower
+
+    def test_log_log_slope_edge_cases(self):
+        from repro.analysis.experiments import ScalingPoint
+
+        flat = [ScalingPoint(16, 10, 10.0), ScalingPoint(64, 10, 10.0)]
+        assert log_log_slope(flat) == pytest.approx(0.0)
+
+
+class TestStretchDistribution:
+    def test_baseline_distribution_is_unit(self):
+        g = random_strongly_connected(12, rng=random.Random(10))
+        inst = Instance.prepare(g, 11)
+        scheme = ShortestPathScheme(inst.oracle, inst.naming)
+        dist = stretch_distribution(scheme, inst.oracle)
+        assert dist.max() == pytest.approx(1.0)
+        assert dist.mean() == pytest.approx(1.0)
+        assert dist.fraction_at_most(1.0) == 1.0
+        assert dist.percentile(50) == pytest.approx(1.0)
+
+    def test_histogram_covers_all_samples(self):
+        g = random_strongly_connected(12, rng=random.Random(12))
+        inst = Instance.prepare(g, 13)
+        scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(14))
+        dist = stretch_distribution(scheme, inst.oracle, sample=60)
+        hist = dist.histogram([1.0, 2.0, 3.0, 6.0])
+        assert sum(hist.values()) == len(dist.samples)
+
+    def test_percentiles_monotone(self):
+        g = random_strongly_connected(12, rng=random.Random(15))
+        inst = Instance.prepare(g, 16)
+        scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(17))
+        dist = stretch_distribution(scheme, inst.oracle, sample=80)
+        assert (
+            dist.percentile(10)
+            <= dist.percentile(50)
+            <= dist.percentile(90)
+            <= dist.max()
+        )

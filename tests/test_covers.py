@@ -1,0 +1,309 @@
+"""Tests for double trees, PartialCover/Cover (Thm 10/13), hierarchy."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.covers.double_tree import DoubleTree
+from repro.covers.hierarchy import TreeHierarchy
+from repro.covers.partial_cover import partial_cover
+from repro.covers.sparse_cover import (
+    DoubleTreeCover,
+    cover,
+    verify_cover_properties,
+)
+from repro.exceptions import ConstructionError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import (
+    bidirected_torus,
+    directed_cycle,
+    random_strongly_connected,
+)
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+
+
+def make_metric(n: int, seed: int) -> RoundtripMetric:
+    g = random_strongly_connected(n, rng=random.Random(seed))
+    return RoundtripMetric(DistanceOracle(g))
+
+
+class TestDoubleTree:
+    def test_roundtrip_via_root_paths(self):
+        metric = make_metric(24, 1)
+        members = list(range(0, 24, 2))
+        t = DoubleTree(metric.oracle, members, tree_id=5)
+        g = metric.oracle.graph
+        for x in members:
+            for y in members:
+                path = t.route_via_root(x, y)
+                assert path[0] == x and path[-1] == y
+                assert t.root in path
+                total = sum(
+                    g.weight(a, b) for a, b in zip(path, path[1:])
+                )
+                assert total == pytest.approx(t.route_cost(x, y))
+
+    def test_route_cost_is_optimal_legs(self):
+        metric = make_metric(20, 2)
+        t = DoubleTree(metric.oracle, list(range(20)), tree_id=0)
+        for x in range(0, 20, 3):
+            assert t.route_cost(x, x) == pytest.approx(metric.r(x, t.root))
+            for y in range(0, 20, 4):
+                assert t.route_cost(x, y) == pytest.approx(
+                    metric.d(x, t.root) + metric.d(t.root, y)
+                )
+
+    def test_rt_height_definition(self):
+        metric = make_metric(16, 3)
+        members = [1, 3, 5, 7, 9]
+        t = DoubleTree(metric.oracle, members, tree_id=0)
+        assert t.rt_height() == pytest.approx(
+            max(metric.r(t.root, v) for v in members)
+        )
+
+    def test_center_is_rt_center(self):
+        metric = make_metric(18, 4)
+        members = list(range(0, 18, 3))
+        t = DoubleTree(metric.oracle, members, tree_id=0)
+        assert t.root == metric.rt_center(members)
+        assert t.rt_height() == pytest.approx(metric.rt_radius(members))
+
+    def test_explicit_center(self):
+        metric = make_metric(12, 5)
+        t = DoubleTree(metric.oracle, list(range(12)), tree_id=0, center=7)
+        assert t.root == 7
+
+    def test_center_must_be_member(self):
+        metric = make_metric(12, 6)
+        with pytest.raises(ConstructionError):
+            DoubleTree(metric.oracle, [0, 1, 2], tree_id=0, center=7)
+
+    def test_empty_members_rejected(self):
+        metric = make_metric(5, 7)
+        with pytest.raises(ConstructionError):
+            DoubleTree(metric.oracle, [], tree_id=0)
+
+    def test_steiner_vertices_carry_state(self):
+        # On a cycle, routing to the far member passes through
+        # non-member vertices, which must carry tree state.
+        g = directed_cycle(8)
+        oracle = DistanceOracle(g)
+        t = DoubleTree(oracle, [0, 4], tree_id=0, center=0)
+        involved = [v for v in range(8) if t.involves(v)]
+        assert len(involved) == 8  # whole cycle participates
+        assert t.contains(4) and not t.contains(3)
+        assert sum(t.table_entries_at(v) for v in range(8)) > 0
+
+    def test_roundtrip_cost_symmetric_bound(self):
+        metric = make_metric(14, 8)
+        t = DoubleTree(metric.oracle, list(range(14)), tree_id=0)
+        for x in range(0, 14, 3):
+            for y in range(0, 14, 5):
+                assert t.roundtrip_cost(x, y) <= 2 * t.rt_height() + 1e-9
+
+
+class TestPartialCover:
+    def test_disjoint_regions(self):
+        clusters = [frozenset({i, i + 1}) for i in range(0, 20, 2)]
+        res = partial_cover(clusters, 2)
+        seen = set()
+        for region in res.merged_regions:
+            assert not (region & seen)
+            seen |= region
+
+    def test_covered_clusters_contained(self):
+        rng = random.Random(1)
+        clusters = [
+            frozenset(rng.sample(range(30), rng.randint(1, 6)))
+            for _ in range(25)
+        ]
+        res = partial_cover(clusters, 3)
+        for ci in res.covered:
+            region = res.merged_regions[res.covering_region[ci]]
+            assert clusters[ci] <= region
+
+    def test_coverage_count_lower_bound(self):
+        # Lemma 11 property 3: |DR| >= |R|^{1-1/k}.
+        rng = random.Random(2)
+        for k in (2, 3):
+            clusters = [
+                frozenset(rng.sample(range(40), 4)) for _ in range(30)
+            ]
+            res = partial_cover(clusters, k)
+            assert len(res.covered) >= len(clusters) ** (1 - 1 / k) - 1e-9
+
+    def test_all_clusters_removed_or_alive_invariant(self):
+        clusters = [frozenset({i}) for i in range(10)]
+        res = partial_cover(clusters, 2)
+        # disjoint singletons: every cluster covered by itself
+        assert sorted(res.covered) == list(range(10))
+        assert res.removed == set(range(10))
+
+    def test_empty_input(self):
+        res = partial_cover([], 2)
+        assert res.merged_regions == [] and res.covered == []
+
+    def test_chain_overlap_growth(self):
+        # Heavily overlapping chain: region growth must absorb it but
+        # terminate.
+        clusters = [frozenset({i, i + 1, i + 2}) for i in range(20)]
+        res = partial_cover(clusters, 2)
+        assert res.covered  # someone got covered
+        for ci in res.covered:
+            region = res.merged_regions[res.covering_region[ci]]
+            assert clusters[ci] <= region
+
+
+class TestCover:
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("scale", [1.0, 4.0, 16.0])
+    def test_theorem10_properties_random(self, k: int, scale: float):
+        metric = make_metric(30, 9)
+        res = cover(metric, k, scale)
+        verify_cover_properties(metric, k, scale, res)
+
+    def test_theorem10_on_cycle(self):
+        g = directed_cycle(16)
+        metric = RoundtripMetric(DistanceOracle(g))
+        for scale in (2.0, 8.0, 16.0):
+            res = cover(metric, 2, scale)
+            verify_cover_properties(metric, 2, scale, res)
+
+    def test_theorem10_on_torus(self):
+        g = bidirected_torus(4, 4)
+        metric = RoundtripMetric(DistanceOracle(g))
+        res = cover(metric, 2, 4.0)
+        verify_cover_properties(metric, 2, 4.0, res)
+
+    def test_invalid_params(self):
+        metric = make_metric(8, 10)
+        with pytest.raises(ConstructionError):
+            cover(metric, 1, 2.0)
+        with pytest.raises(ConstructionError):
+            cover(metric, 2, 0.0)
+
+    def test_huge_scale_single_cluster(self):
+        metric = make_metric(12, 11)
+        res = cover(metric, 2, metric.oracle.rt_diameter() + 1)
+        # all balls are V, so one merged region covers everyone
+        assert len(res.clusters) == 1
+        assert res.clusters[0] == frozenset(range(12))
+
+
+class TestDoubleTreeCover:
+    def test_verify_passes(self):
+        metric = make_metric(24, 12)
+        dtc = DoubleTreeCover(metric, 2, 8.0)
+        dtc.verify()
+
+    def test_home_tree_contains_ball(self):
+        metric = make_metric(20, 13)
+        d = 6.0
+        dtc = DoubleTreeCover(metric, 2, d)
+        for v in range(20):
+            home = dtc.home_tree(v)
+            assert set(metric.ball(v, d)) <= set(home.members)
+
+    def test_height_bound(self):
+        metric = make_metric(20, 14)
+        dtc = DoubleTreeCover(metric, 3, 4.0)
+        for t in dtc.trees:
+            assert t.rt_height() <= dtc.height_bound() + 1e-9
+
+    def test_load_bound(self):
+        metric = make_metric(24, 15)
+        dtc = DoubleTreeCover(metric, 2, 4.0)
+        assert dtc.max_vertex_load() <= dtc.load_bound()
+
+    def test_tree_lookup(self):
+        metric = make_metric(10, 16)
+        dtc = DoubleTreeCover(metric, 2, 2.0, tree_id_base=100)
+        for t in dtc.trees:
+            assert dtc.tree_by_id(t.tree_id) is t
+        with pytest.raises(ConstructionError):
+            dtc.tree_by_id(999999)
+
+    def test_trees_containing(self):
+        metric = make_metric(12, 17)
+        dtc = DoubleTreeCover(metric, 2, 4.0)
+        for v in range(12):
+            for t in dtc.trees_containing(v):
+                assert t.contains(v)
+
+
+class TestHierarchy:
+    def test_all_levels_verify(self):
+        metric = make_metric(18, 18)
+        h = TreeHierarchy(metric, 2)
+        h.verify()
+
+    def test_level_count_matches_diameter(self):
+        metric = make_metric(18, 19)
+        h = TreeHierarchy(metric, 2)
+        assert 2 ** (h.num_levels - 1) >= metric.oracle.rt_diameter()
+
+    def test_home_tree_every_level(self):
+        metric = make_metric(16, 20)
+        h = TreeHierarchy(metric, 2)
+        for level in range(h.num_levels):
+            for v in range(16):
+                home = h.home_tree(v, level)
+                assert set(metric.ball(v, 2.0 ** level)) <= set(home.members)
+
+    def test_first_common_home_level(self):
+        metric = make_metric(16, 21)
+        h = TreeHierarchy(metric, 2)
+        for u in range(0, 16, 3):
+            for v in range(0, 16, 5):
+                level = h.first_common_home_level(u, v)
+                assert h.home_tree(u, level).contains(v)
+                for earlier in range(level):
+                    assert not h.home_tree(u, earlier).contains(v)
+
+    def test_best_tree_for_pair_contains_both(self):
+        metric = make_metric(16, 22)
+        h = TreeHierarchy(metric, 2)
+        for u in range(0, 16, 4):
+            for v in range(16):
+                if u == v:
+                    continue
+                t = h.best_tree_for_pair(u, v)
+                assert t.contains(u) and t.contains(v)
+
+    def test_best_tree_cost_within_bound(self):
+        metric = make_metric(16, 23)
+        h = TreeHierarchy(metric, 2)
+        for u in range(0, 16, 2):
+            for v in range(0, 16, 3):
+                if u == v:
+                    continue
+                t = h.best_tree_for_pair(u, v)
+                assert t.roundtrip_cost(u, v) <= h.spanner_hop_bound(u, v) + 1e-9
+
+    def test_tree_id_roundtrip(self):
+        metric = make_metric(12, 24)
+        h = TreeHierarchy(metric, 2)
+        for t in h.all_trees():
+            assert h.tree_by_id(t.tree_id) is t
+            assert 0 <= h.level_of_tree_id(t.tree_id) < h.num_levels
+
+    def test_invalid_level(self):
+        metric = make_metric(8, 25)
+        h = TreeHierarchy(metric, 2)
+        with pytest.raises(ConstructionError):
+            h.home_tree(0, h.num_levels)
+
+    def test_k_validation(self):
+        metric = make_metric(8, 26)
+        with pytest.raises(ConstructionError):
+            TreeHierarchy(metric, 1)
+
+    def test_table_accounting_positive(self):
+        metric = make_metric(10, 27)
+        h = TreeHierarchy(metric, 2)
+        total = sum(h.table_entries_at(v) for v in range(10))
+        assert total > 0

@@ -1,0 +1,171 @@
+"""Unit tests for the fixed-port digraph (repro.graph.digraph)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import Digraph, from_edge_list
+
+
+class TestConstruction:
+    def test_vertex_count(self):
+        g = Digraph(5)
+        assert g.n == 5
+        assert g.m == 0
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            Digraph(0)
+
+    def test_negative_vertices_rejected(self):
+        with pytest.raises(GraphError):
+            Digraph(-3)
+
+    def test_add_edge(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 2.5)
+        assert g.m == 1
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edge_weight_lookup(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 2.5)
+        assert g.weight(0, 1) == 2.5
+
+    def test_missing_weight_raises(self):
+        g = Digraph(3)
+        with pytest.raises(GraphError):
+            g.weight(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Digraph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Digraph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 1, 2.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = Digraph(3)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 3, 1.0)
+        with pytest.raises(GraphError):
+            g.add_edge(-1, 0, 1.0)
+
+    def test_add_after_freeze_rejected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.freeze()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 1.0)
+
+    def test_degrees(self):
+        g = Digraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(3, 0, 1.0)
+        assert g.out_degree(0) == 2
+        assert g.in_degree(0) == 1
+        assert g.out_degree(3) == 1
+        assert g.in_degree(1) == 1
+
+
+class TestPorts:
+    def test_deterministic_ports(self, triangle: Digraph):
+        assert triangle.port_of(0, 1) == 0
+        assert triangle.head_of_port(0, 0) == 1
+
+    def test_port_roundtrip_consistency(self):
+        rng = random.Random(42)
+        g = Digraph(6)
+        for u in range(6):
+            for v in range(6):
+                if u != v:
+                    g.add_edge(u, v, 1.0)
+        g.freeze(rng)
+        for u in range(6):
+            for (v, _w) in g.out_neighbors(u):
+                assert g.head_of_port(u, g.port_of(u, v)) == v
+
+    def test_ports_unique_per_node(self):
+        rng = random.Random(1)
+        g = Digraph(5)
+        for u in range(5):
+            g.add_edge(u, (u + 1) % 5, 1.0)
+            g.add_edge(u, (u + 2) % 5, 1.0)
+        g.freeze(rng)
+        for u in range(5):
+            ports = g.ports(u)
+            assert len(ports) == len(set(ports)) == g.out_degree(u)
+
+    def test_adversarial_ports_differ_across_nodes(self):
+        # With random port assignment the port of the "same" logical
+        # link direction is not globally consistent.
+        rng = random.Random(2)
+        g = Digraph(40)
+        for u in range(40):
+            g.add_edge(u, (u + 1) % 40, 1.0)
+            g.add_edge(u, (u + 3) % 40, 1.0)
+            g.add_edge(u, (u + 7) % 40, 1.0)
+        g.freeze(rng)
+        ports = [g.port_of(u, (u + 1) % 40) for u in range(40)]
+        assert len(set(ports)) > 1, "adversarial ports should vary"
+
+    def test_unknown_port_raises(self, triangle: Digraph):
+        with pytest.raises(GraphError):
+            triangle.head_of_port(0, 999)
+
+    def test_port_queries_require_frozen(self):
+        g = Digraph(2)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            g.port_of(0, 1)
+        with pytest.raises(GraphError):
+            g.head_of_port(0, 0)
+
+
+class TestTransforms:
+    def test_reversed(self, triangle: Digraph):
+        r = triangle.reversed()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert r.has_edge(0, 2)
+        assert not r.has_edge(0, 1)
+        assert r.weight(1, 0) == triangle.weight(0, 1)
+
+    def test_copy_is_unfrozen_and_equal(self, triangle: Digraph):
+        c = triangle.copy()
+        assert not c.frozen
+        assert c.m == triangle.m
+        c.add_edge(0, 2, 5.0)  # copy is mutable
+        assert c.m == triangle.m + 1
+
+    def test_weight_extremes(self, triangle: Digraph):
+        assert triangle.max_weight() == 3.0
+        assert triangle.min_weight() == 1.0
+
+    def test_from_edge_list(self):
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert g.frozen
+        assert g.m == 3
+
+    def test_edges_iteration(self, triangle: Digraph):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert {(e.tail, e.head) for e in edges} == {(0, 1), (1, 2), (2, 0)}
+        for e in edges:
+            assert triangle.port_of(e.tail, e.head) == e.port

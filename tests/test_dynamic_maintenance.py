@@ -1,0 +1,154 @@
+"""Tests for dynamic table maintenance (Section 6, second half)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.distributed.dynamic import (
+    DynamicMaintenance,
+    reweighted_copy,
+)
+from repro.distributed.preprocessing import DistributedPreprocessing
+from repro.exceptions import GraphError
+from repro.graph.generators import random_strongly_connected
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import random_naming
+
+
+def build(n=16, seed=0):
+    g = random_strongly_connected(n, rng=random.Random(seed))
+    naming = random_naming(n, random.Random(seed + 1))
+    prep = DistributedPreprocessing(g, naming, seed=seed + 2)
+    return g, naming, prep
+
+
+def some_edge(g, rng):
+    edges = list(g.edges())
+    e = rng.choice(edges)
+    return e.tail, e.head, e.weight
+
+
+class TestReweightedCopy:
+    def test_only_target_edge_changes(self):
+        g, _naming, _prep = build(seed=1)
+        tail, head, w = some_edge(g, random.Random(2))
+        new_g = reweighted_copy(g, tail, head, w * 3)
+        assert new_g.weight(tail, head) == pytest.approx(w * 3)
+        for e in g.edges():
+            if (e.tail, e.head) != (tail, head):
+                assert new_g.weight(e.tail, e.head) == e.weight
+
+    def test_ports_preserved(self):
+        g, _naming, _prep = build(seed=3)
+        tail, head, w = some_edge(g, random.Random(4))
+        new_g = reweighted_copy(g, tail, head, w + 1)
+        for u in range(g.n):
+            for (v, _w) in g.out_neighbors(u):
+                assert new_g.port_of(u, v) == g.port_of(u, v)
+        for e in new_g.edges():
+            assert new_g.port_of(e.tail, e.head) == e.port
+
+    def test_nonpositive_weight_rejected(self):
+        g, _naming, _prep = build(seed=5)
+        edge = next(iter(g.edges()))
+        with pytest.raises(GraphError):
+            reweighted_copy(g, edge.tail, edge.head, -1.0)
+
+    def test_missing_edge_rejected(self):
+        g, _naming, _prep = build(seed=5)
+        missing = next(
+            (u, v)
+            for u in range(g.n)
+            for v in range(g.n)
+            if u != v and not g.has_edge(u, v)
+        )
+        with pytest.raises(GraphError):
+            reweighted_copy(g, missing[0], missing[1], 1.0)
+
+
+class TestUpdates:
+    @pytest.mark.parametrize("factor", [0.25, 4.0])
+    def test_state_correct_after_update(self, factor: float):
+        g, _naming, prep = build(seed=6)
+        maint = DynamicMaintenance(prep)
+        tail, head, w = some_edge(g, random.Random(7))
+        new_g, report = maint.update_edge_weight(tail, head, w * factor)
+        maint.verify(DistanceOracle(new_g))
+        assert report.rounds >= 1
+        assert report.messages > 0
+
+    def test_names_never_change(self):
+        g, naming, prep = build(seed=8)
+        before = [prep.nodes[v].name for v in range(g.n)]
+        maint = DynamicMaintenance(prep)
+        rng = random.Random(9)
+        for _ in range(3):
+            tail, head, w = some_edge(maint._g, rng)
+            _new_g, report = maint.update_edge_weight(
+                tail, head, w * rng.choice([0.5, 2.0])
+            )
+            assert report.names_changed == 0
+        after = [prep.nodes[v].name for v in range(g.n)]
+        assert before == after
+
+    def test_landmarks_and_blocks_survive(self):
+        g, _naming, prep = build(seed=10)
+        landmarks = list(prep.nodes[0].landmarks)
+        blocks = [set(prep.nodes[v].blocks) for v in range(g.n)]
+        maint = DynamicMaintenance(prep)
+        tail, head, w = some_edge(g, random.Random(11))
+        maint.update_edge_weight(tail, head, w * 5)
+        assert prep.nodes[0].landmarks == landmarks
+        assert [set(prep.nodes[v].blocks) for v in range(g.n)] == blocks
+
+    def test_change_locality_reported(self):
+        # A tiny weight tweak on one edge should not change every
+        # distance entry.
+        g, _naming, prep = build(n=20, seed=12)
+        maint = DynamicMaintenance(prep)
+        tail, head, w = some_edge(g, random.Random(13))
+        _new_g, report = maint.update_edge_weight(tail, head, w * 1.01)
+        total_entries = 2 * g.n * g.n
+        assert report.dist_entries_changed < total_entries // 2
+
+    def test_sequential_updates_stay_correct(self):
+        g, _naming, prep = build(n=14, seed=14)
+        maint = DynamicMaintenance(prep)
+        rng = random.Random(15)
+        for step in range(4):
+            tail, head, w = some_edge(maint._g, rng)
+            new_g, _report = maint.update_edge_weight(
+                tail, head, max(0.5, w * rng.uniform(0.3, 3.0))
+            )
+        maint.verify(DistanceOracle(new_g))
+
+    def test_stored_identity_survives_update(self):
+        # The paper's motivating property, end to end: an application
+        # holds a NAME; topology changes; the name still resolves and
+        # routes (with repaired tables).
+        g, naming, prep = build(n=16, seed=16)
+        maint = DynamicMaintenance(prep)
+        target_name = naming.name_of(7)
+        tail, head, w = some_edge(g, random.Random(17))
+        new_g, _report = maint.update_edge_weight(tail, head, w * 4)
+        # route hop-by-hop using the repaired next_port state
+        at = 0
+        hops = 0
+        while prep.nodes[at].name != target_name:
+            port = prep.nodes[at].next_port[target_name]
+            at = new_g.head_of_port(at, port)
+            hops += 1
+            assert hops <= new_g.n
+        oracle = DistanceOracle(new_g)
+        assert at == 7
+        # and the path taken is the new shortest path
+        cost = 0.0
+        at = 0
+        while prep.nodes[at].name != target_name:
+            port = prep.nodes[at].next_port[target_name]
+            nxt = new_g.head_of_port(at, port)
+            cost += new_g.weight(at, nxt)
+            at = nxt
+        assert cost == pytest.approx(oracle.d(0, 7))

@@ -1,0 +1,169 @@
+"""End-to-end integration tests: every scheme x every family x
+adversarial namings and ports, through the full simulator.
+
+These are the "does the whole stack hold together" tests: fresh
+packets carrying nothing but a name, adversarial port numbers,
+random permutation namings, every workload family, all four schemes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.experiments import Instance
+from repro.graph.generators import standard_families
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import measure_stretch
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.rtz_baseline import RTZBaselineScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+FAMILIES = sorted(standard_families(25, seed=42).items())
+
+
+def build_scheme(label: str, inst: Instance, seed: int):
+    rng = random.Random(seed)
+    if label == "stretch6":
+        return StretchSixScheme(inst.metric, inst.naming, rng=rng), 6.0
+    if label == "exstretch":
+        s = ExStretchScheme(inst.metric, inst.naming, k=2, rng=rng)
+        return s, s.stretch_bound()
+    if label == "polystretch":
+        s = PolynomialStretchScheme(inst.metric, inst.naming, k=2)
+        return s, s.stretch_bound()
+    if label == "rtz":
+        return RTZBaselineScheme(inst.metric, inst.naming, rng=rng), 3.0
+    raise ValueError(label)
+
+
+@pytest.mark.parametrize("family_name,graph", FAMILIES)
+@pytest.mark.parametrize(
+    "scheme_label", ["stretch6", "exstretch", "polystretch", "rtz"]
+)
+def test_scheme_on_family(family_name: str, graph, scheme_label: str):
+    inst = Instance.prepare(graph, seed=hash((family_name, scheme_label)) % 1000)
+    scheme, bound = build_scheme(scheme_label, inst, seed=3)
+    report = measure_stretch(
+        scheme, inst.oracle, sample=80, rng=random.Random(4)
+    )
+    assert report.max_stretch <= bound + 1e-9, (
+        f"{scheme_label} on {family_name}: {report.max_stretch} > {bound}"
+    )
+
+
+class TestAdversarialSurface:
+    """Adversarial ports and namings together."""
+
+    def test_port_permutations_do_not_matter(self):
+        # Same topology, three different adversarial port assignments:
+        # stretch must stay within bound on each (routes may differ).
+        from repro.graph.digraph import Digraph
+
+        base_edges = []
+        rng = random.Random(5)
+        n = 18
+        perm = list(range(n))
+        rng.shuffle(perm)
+        for i in range(n):
+            base_edges.append((perm[i], perm[(i + 1) % n], 1.0 + (i % 3)))
+        for i in range(n):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b and (a, b) not in {(u, v) for (u, v, _w) in base_edges}:
+                base_edges.append((a, b, rng.uniform(1, 5)))
+        for port_seed in range(3):
+            g = Digraph(n)
+            seen = set()
+            for (u, v, w) in base_edges:
+                if (u, v) not in seen:
+                    seen.add((u, v))
+                    g.add_edge(u, v, w)
+            g.freeze(random.Random(port_seed))
+            inst = Instance.prepare(g, seed=6)
+            scheme = StretchSixScheme(
+                inst.metric, inst.naming, rng=random.Random(7)
+            )
+            report = measure_stretch(
+                scheme, inst.oracle, sample=60, rng=random.Random(8)
+            )
+            assert report.max_stretch <= 6.0 + 1e-9
+
+    def test_all_sources_to_one_destination(self):
+        # Hot-spot pattern: everyone talks to one server.
+        fams = standard_families(25, seed=1)
+        g = fams["dht"]
+        inst = Instance.prepare(g, seed=9)
+        scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(10))
+        sim = Simulator(scheme)
+        server = 0
+        for s in range(1, g.n):
+            trace = sim.roundtrip(s, inst.naming.name_of(server))
+            assert trace.total_cost <= 6 * inst.oracle.r(s, server) + 1e-9
+
+    def test_one_source_to_all_destinations(self):
+        fams = standard_families(25, seed=2)
+        g = fams["layered"]
+        inst = Instance.prepare(g, seed=11)
+        scheme = ExStretchScheme(
+            inst.metric, inst.naming, k=2, rng=random.Random(12)
+        )
+        sim = Simulator(scheme)
+        for t in range(1, g.n):
+            trace = sim.roundtrip(0, inst.naming.name_of(t))
+            assert trace.total_cost <= scheme.stretch_bound() * inst.oracle.r(
+                0, t
+            ) + 1e-9
+
+    def test_repeated_roundtrips_are_deterministic(self):
+        fams = standard_families(25, seed=3)
+        g = fams["random"]
+        inst = Instance.prepare(g, seed=13)
+        scheme = PolynomialStretchScheme(inst.metric, inst.naming, k=2)
+        sim = Simulator(scheme)
+        a = sim.roundtrip(1, inst.naming.name_of(9))
+        b = sim.roundtrip(1, inst.naming.name_of(9))
+        assert a.outbound.path == b.outbound.path
+        assert a.inbound.path == b.inbound.path
+
+
+class TestSharedSubstrates:
+    """Schemes sharing one substrate instance must not interfere."""
+
+    def test_stretch6_and_rtz_share_substrate(self):
+        from repro.rtz.routing import RTZStretch3
+
+        fams = standard_families(25, seed=4)
+        g = fams["torus"]
+        inst = Instance.prepare(g, seed=14)
+        rtz = RTZStretch3(inst.metric, random.Random(15))
+        s6 = StretchSixScheme(inst.metric, inst.naming, substrate=rtz)
+        base = RTZBaselineScheme(inst.metric, inst.naming, substrate=rtz)
+        r1 = measure_stretch(s6, inst.oracle, sample=50, rng=random.Random(16))
+        r2 = measure_stretch(base, inst.oracle, sample=50, rng=random.Random(17))
+        assert r1.max_stretch <= 6.0 + 1e-9
+        assert r2.max_stretch <= 3.0 + 1e-9
+
+    def test_exstretch_and_polystretch_share_hierarchy(self):
+        from repro.covers.hierarchy import TreeHierarchy
+        from repro.rtz.spanner import HandshakeSpanner
+
+        fams = standard_families(25, seed=5)
+        g = fams["random"]
+        inst = Instance.prepare(g, seed=18)
+        h = TreeHierarchy(inst.metric, 2)
+        ex = ExStretchScheme(
+            inst.metric,
+            inst.naming,
+            k=2,
+            spanner=HandshakeSpanner(inst.metric, 2, hierarchy=h),
+        )
+        poly = PolynomialStretchScheme(
+            inst.metric, inst.naming, k=2, hierarchy=h
+        )
+        r1 = measure_stretch(ex, inst.oracle, sample=50, rng=random.Random(19))
+        r2 = measure_stretch(poly, inst.oracle, sample=50, rng=random.Random(20))
+        assert r1.max_stretch <= ex.stretch_bound() + 1e-9
+        assert r2.max_stretch <= poly.stretch_bound() + 1e-9

@@ -1,0 +1,131 @@
+"""Tests for the Theorem 15 lower-bound machinery."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.graph.generators import (
+    bidirected_hypercube,
+    directed_cycle,
+    random_strongly_connected,
+)
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.lower_bound.construction import (
+    IncompressibilityDemo,
+    bidirected_instance,
+    matching_gadget,
+    roundtrip_scheme_as_one_way,
+    stretch2_forces_direct_edges,
+    verify_reduction_inequality,
+)
+from repro.naming.permutation import random_naming
+from repro.runtime.simulator import Simulator
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+class TestBidirectedInstance:
+    def test_symmetry_on_cycle(self):
+        g = directed_cycle(10)
+        doubled, oracle = bidirected_instance(g)
+        d = oracle.d_matrix
+        assert np.allclose(d, d.T)
+
+    def test_symmetry_on_random(self):
+        g = random_strongly_connected(16, rng=random.Random(1))
+        _doubled, oracle = bidirected_instance(g)
+        assert np.allclose(oracle.d_matrix, oracle.d_matrix.T)
+
+    def test_roundtrip_is_twice_oneway(self):
+        g = random_strongly_connected(12, rng=random.Random(2))
+        _doubled, oracle = bidirected_instance(g)
+        assert np.allclose(oracle.r_matrix, 2 * oracle.d_matrix)
+
+
+class TestReductionChain:
+    def test_one_way_report_on_symmetric_instance(self):
+        g = random_strongly_connected(16, rng=random.Random(3))
+        doubled, oracle = bidirected_instance(g)
+        naming = random_naming(doubled.n, random.Random(4))
+        metric = RoundtripMetric(oracle, ids=naming.all_names())
+        scheme = StretchSixScheme(metric, naming, rng=random.Random(5))
+        report = roundtrip_scheme_as_one_way(scheme, oracle)
+        # roundtrip stretch bound 6 still holds on the doubled graph
+        assert report.max_roundtrip <= 6.0 + 1e-9
+        # and one-way stretch relates: p_out + p_back <= 6 r = 12 d,
+        # so each one-way leg is at most 12x (coarse sanity)
+        assert report.max_one_way <= 12.0 + 1e-9
+
+    def test_reduction_inequality_holds(self):
+        # Measure actual one-way paths and run the Theorem 15 chain.
+        g = random_strongly_connected(14, rng=random.Random(6))
+        doubled, oracle = bidirected_instance(g)
+        naming = random_naming(doubled.n, random.Random(7))
+        metric = RoundtripMetric(oracle, ids=naming.all_names())
+        scheme = StretchSixScheme(metric, naming, rng=random.Random(8))
+        sim = Simulator(scheme)
+        paths = {}
+        for s in range(doubled.n):
+            for t in range(doubled.n):
+                if s == t:
+                    continue
+                trace = sim.roundtrip(s, naming.name_of(t))
+                paths[(s, t)] = trace.outbound.cost
+        verify_reduction_inequality(paths, oracle)
+
+    def test_hypercube_also_symmetric(self):
+        g = bidirected_hypercube(3)
+        _doubled, oracle = bidirected_instance(g)
+        assert np.allclose(oracle.d_matrix, oracle.d_matrix.T)
+
+
+class TestMatchingGadget:
+    def test_structure(self):
+        g = matching_gadget(4, [2, 0, 3, 1])
+        assert g.n == 9
+        # star edges + matching edges, both directions
+        assert g.m == 2 * 8 + 2 * 4
+
+    def test_matched_pairs_close_unmatched_far(self):
+        matching = [1, 0, 2]
+        g = matching_gadget(3, matching)
+        oracle = DistanceOracle(g)
+        for i, j in enumerate(matching):
+            left = 1 + i
+            for jj in range(3):
+                right = 1 + 3 + jj
+                if jj == j:
+                    assert oracle.r(left, right) == pytest.approx(2.0)
+                else:
+                    assert oracle.r(left, right) == pytest.approx(4.0)
+
+    def test_invalid_matching_rejected(self):
+        with pytest.raises(ConstructionError):
+            matching_gadget(3, [0, 0, 1])
+
+    def test_stretch2_forces_direct_edges(self):
+        for matching in ([0, 1, 2], [2, 1, 0], [1, 2, 0]):
+            stretch2_forces_direct_edges(matching)
+
+
+class TestIncompressibility:
+    def test_all_matchings_distinct_patterns(self):
+        demo = IncompressibilityDemo.run(4)
+        assert demo.instances == math.factorial(4)
+        demo.verify()
+
+    def test_required_bits_grow(self):
+        d3 = IncompressibilityDemo.run(3)
+        d4 = IncompressibilityDemo.run(4)
+        assert d4.required_bits > d3.required_bits
+        assert d4.required_bits == pytest.approx(math.log2(math.factorial(4)))
+
+    def test_instance_cap_respected(self):
+        demo = IncompressibilityDemo.run(5, max_instances=50)
+        assert demo.instances == 50
+        demo.verify()

@@ -1,0 +1,107 @@
+"""Hypothesis property tests for the graph substrate and metric.
+
+These generate random strongly connected weighted digraphs (via a
+random backbone cycle plus chords, the same construction the library's
+generator uses but driven by hypothesis-chosen parameters) and check
+the invariants every scheme's correctness rests on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import random_strongly_connected
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.scc import is_strongly_connected
+from repro.graph.shortest_paths import DistanceOracle, dijkstra, path_length
+from repro.naming.permutation import random_naming
+
+graph_params = st.tuples(
+    st.integers(min_value=3, max_value=28),     # n
+    st.floats(min_value=1.0, max_value=4.0),    # avg out-degree
+    st.integers(),                              # seed
+)
+
+
+def make_graph(params):
+    n, deg, seed = params
+    return random_strongly_connected(n, avg_out_degree=deg, rng=random.Random(seed))
+
+
+class TestGraphProperties:
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_generator_strongly_connected(self, params):
+        assert is_strongly_connected(make_graph(params))
+
+    @given(graph_params)
+    @settings(max_examples=25, deadline=None)
+    def test_dijkstra_tree_paths_match_distances(self, params):
+        g = make_graph(params)
+        dist, parent = dijkstra(g, 0)
+        for v in range(1, g.n):
+            path = [v]
+            while path[-1] != 0:
+                path.append(parent[path[-1]])
+            path.reverse()
+            assert abs(path_length(g, path) - dist[v]) < 1e-9
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_metric_axioms(self, params):
+        g = make_graph(params)
+        oracle = DistanceOracle(g)
+        r = oracle.r_matrix
+        n = g.n
+        assert np.allclose(r, r.T)
+        assert np.all(np.diag(r) == 0)
+        for v in range(n):
+            via = r[:, v][:, None] + r[v, :][None, :]
+            assert np.all(r <= via + 1e-9)
+
+    @given(graph_params, st.integers())
+    @settings(max_examples=20, deadline=None)
+    def test_init_order_total_and_self_first(self, params, name_seed):
+        g = make_graph(params)
+        naming = random_naming(g.n, random.Random(name_seed))
+        metric = RoundtripMetric(DistanceOracle(g), ids=naming.all_names())
+        for v in range(0, g.n, max(1, g.n // 4)):
+            order = metric.init_order(v)
+            assert order[0] == v
+            assert sorted(order) == list(range(g.n))
+            keys = [metric.order_key(v, u) for u in order]
+            assert keys == sorted(keys)
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_ball_closure_under_shortest_cycles(self, params):
+        # The property Theorem 13's clusters rely on: shortest cycles
+        # through ball members stay within the ball radius.
+        g = make_graph(params)
+        oracle = DistanceOracle(g)
+        metric = RoundtripMetric(oracle)
+        v = 0
+        for w in range(1, g.n):
+            radius = metric.r(v, w)
+            ball = set(metric.ball(v, radius))
+            cycle = oracle.path(v, w)[:-1] + oracle.path(w, v)
+            assert set(cycle) <= ball
+
+    @given(graph_params)
+    @settings(max_examples=15, deadline=None)
+    def test_cluster_closure_property(self, params):
+        # The RTZ direct-route closure: x on a shortest u->v path has
+        # r(x, v) <= r(u, v).
+        g = make_graph(params)
+        oracle = DistanceOracle(g)
+        for u in range(0, g.n, max(1, g.n // 3)):
+            for v in range(g.n):
+                if u == v:
+                    continue
+                for x in oracle.path(u, v)[1:-1]:
+                    assert oracle.r(x, v) <= oracle.r(u, v) + 1e-9

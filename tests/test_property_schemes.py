@@ -1,0 +1,106 @@
+"""Hypothesis property tests at the scheme level.
+
+One generator drives everything: a random strongly connected weighted
+digraph, a random adversarial naming, random ports, a random scheme
+and parameter — and the invariant is always the same: every roundtrip
+delivers and respects the scheme's claimed stretch bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import random_strongly_connected
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import random_naming
+from repro.runtime.simulator import Simulator
+from repro.schemes.exstretch import ExStretchScheme
+from repro.schemes.polystretch import PolynomialStretchScheme
+from repro.schemes.rtz_baseline import RTZBaselineScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+params = st.tuples(
+    st.integers(min_value=4, max_value=18),   # n
+    st.integers(),                            # graph seed
+    st.integers(),                            # naming seed
+    st.integers(),                            # scheme seed
+)
+
+
+def make(ps):
+    n, gseed, nseed, sseed = ps
+    g = random_strongly_connected(n, rng=random.Random(gseed))
+    oracle = DistanceOracle(g)
+    naming = random_naming(n, random.Random(nseed))
+    metric = RoundtripMetric(oracle, ids=naming.all_names())
+    return g, oracle, naming, metric, random.Random(sseed)
+
+
+def roundtrip_all(scheme, oracle, naming, bound):
+    sim = Simulator(scheme)
+    n = oracle.n
+    step = max(1, n // 5)
+    for s in range(0, n, step):
+        for t in range(n):
+            if s == t:
+                continue
+            trace = sim.roundtrip(s, naming.name_of(t))
+            assert trace.total_cost <= bound * oracle.r(s, t) + 1e-9
+
+
+class TestSchemeProperties:
+    @given(params)
+    @settings(max_examples=12, deadline=None)
+    def test_stretch6_property(self, ps):
+        _g, oracle, naming, metric, rng = make(ps)
+        scheme = StretchSixScheme(metric, naming, rng=rng)
+        roundtrip_all(scheme, oracle, naming, 6.0)
+
+    @given(params)
+    @settings(max_examples=8, deadline=None)
+    def test_exstretch_property(self, ps):
+        _g, oracle, naming, metric, rng = make(ps)
+        scheme = ExStretchScheme(metric, naming, k=2, rng=rng)
+        roundtrip_all(scheme, oracle, naming, scheme.stretch_bound())
+
+    @given(params)
+    @settings(max_examples=6, deadline=None)
+    def test_polystretch_property(self, ps):
+        _g, oracle, naming, metric, _rng = make(ps)
+        scheme = PolynomialStretchScheme(metric, naming, k=2)
+        roundtrip_all(scheme, oracle, naming, scheme.stretch_bound())
+
+    @given(params)
+    @settings(max_examples=12, deadline=None)
+    def test_rtz_baseline_property(self, ps):
+        _g, oracle, naming, metric, rng = make(ps)
+        scheme = RTZBaselineScheme(metric, naming, rng=rng)
+        roundtrip_all(scheme, oracle, naming, 3.0)
+
+    @given(params, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_stretch6_lean_dictionary_property(self, ps, budget):
+        # Lean dictionaries exercise remote lookups; the bound must
+        # hold for ANY valid block budget, not just the default.
+        _g, oracle, naming, metric, rng = make(ps)
+        scheme = StretchSixScheme(
+            metric, naming, rng=rng, blocks_per_node=budget
+        )
+        roundtrip_all(scheme, oracle, naming, 6.0)
+
+    @given(params)
+    @settings(max_examples=6, deadline=None)
+    def test_headers_never_explode(self, ps):
+        from repro.runtime.sizing import log2_squared
+
+        _g, oracle, naming, metric, rng = make(ps)
+        scheme = StretchSixScheme(metric, naming, rng=rng)
+        sim = Simulator(scheme)
+        n = oracle.n
+        for t in range(1, n, max(1, n // 4)):
+            trace = sim.roundtrip(0, naming.name_of(t))
+            assert trace.max_header_bits <= 16 * log2_squared(n) + 64

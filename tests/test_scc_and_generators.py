@@ -1,0 +1,189 @@
+"""Tests for SCC utilities and graph generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import NotStronglyConnectedError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import (
+    asymmetric_torus,
+    bidirect,
+    bidirected_clique,
+    bidirected_hypercube,
+    bidirected_torus,
+    directed_cycle,
+    layered_random,
+    random_dht_overlay,
+    random_strongly_connected,
+    standard_families,
+    verify_generator_output,
+)
+from repro.graph.scc import (
+    condensation_order,
+    is_strongly_connected,
+    require_strongly_connected,
+    strongly_connected_components,
+)
+
+
+class TestSCC:
+    def test_single_vertex(self):
+        g = Digraph(1).freeze()
+        assert is_strongly_connected(g)
+
+    def test_cycle_is_one_component(self):
+        g = directed_cycle(15)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert sorted(comps[0]) == list(range(15))
+
+    def test_path_is_n_components(self):
+        g = Digraph(5)
+        for i in range(4):
+            g.add_edge(i, i + 1, 1.0)
+        g.freeze()
+        comps = strongly_connected_components(g)
+        assert len(comps) == 5
+
+    def test_two_cycles_bridge(self):
+        g = Digraph(6)
+        for i in range(3):
+            g.add_edge(i, (i + 1) % 3, 1.0)
+            g.add_edge(3 + i, 3 + (i + 1) % 3, 1.0)
+        g.add_edge(0, 3, 1.0)
+        g.freeze()
+        comps = strongly_connected_components(g)
+        assert len(comps) == 2
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4, 5}),
+        }
+
+    def test_require_raises_with_message(self):
+        g = Digraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.freeze()
+        with pytest.raises(NotStronglyConnectedError):
+            require_strongly_connected(g)
+
+    def test_require_passes_on_cycle(self):
+        require_strongly_connected(directed_cycle(5))
+
+    def test_condensation_order_respects_topology(self):
+        # Edge from component of 0..2 to component of 3..5: the source
+        # component must come later in reverse topological order.
+        g = Digraph(6)
+        for i in range(3):
+            g.add_edge(i, (i + 1) % 3, 1.0)
+            g.add_edge(3 + i, 3 + (i + 1) % 3, 1.0)
+        g.add_edge(0, 3, 1.0)
+        g.freeze()
+        comp = condensation_order(g)
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4] == comp[5]
+        assert comp[3] < comp[0]  # sink component emitted first
+
+    def test_deep_cycle_no_recursion_error(self):
+        # Iterative Tarjan must survive a 5000-node cycle.
+        g = directed_cycle(5000)
+        assert is_strongly_connected(g)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("n", [4, 17, 50])
+    def test_random_strongly_connected(self, n: int):
+        g = random_strongly_connected(n, rng=random.Random(n))
+        verify_generator_output(g)
+        assert g.n == n
+
+    def test_random_respects_degree_target(self):
+        g = random_strongly_connected(60, avg_out_degree=4.0, rng=random.Random(1))
+        assert g.m >= 60  # at least the backbone
+        assert g.m <= 4 * 60
+
+    def test_cycle(self):
+        g = directed_cycle(9)
+        verify_generator_output(g)
+        assert g.m == 9
+
+    def test_torus(self):
+        g = bidirected_torus(3, 5)
+        verify_generator_output(g)
+        assert g.n == 15
+        assert g.m == 2 * 2 * 15  # two undirected edges per node, doubled
+
+    def test_asymmetric_torus_weights(self):
+        g = asymmetric_torus(3, 3, forward_w=1.0, backward_w=5.0)
+        verify_generator_output(g)
+        weights = {w for e in g.edges() for w in [e.weight]}
+        assert weights == {1.0, 5.0}
+
+    def test_dht_overlay(self):
+        g = random_dht_overlay(30, chords_per_node=3, rng=random.Random(2))
+        verify_generator_output(g)
+        assert g.m >= 30
+
+    def test_layered(self):
+        g = layered_random(4, 6, rng=random.Random(3))
+        verify_generator_output(g)
+        assert g.n == 24
+
+    def test_bidirected_clique(self):
+        g = bidirected_clique(6, rng=random.Random(4))
+        verify_generator_output(g)
+        assert g.m == 6 * 5
+
+    def test_bidirected_clique_symmetric_weights(self):
+        g = bidirected_clique(5, rng=random.Random(5))
+        for u in range(5):
+            for v in range(5):
+                if u != v:
+                    assert g.weight(u, v) == g.weight(v, u)
+
+    def test_hypercube(self):
+        g = bidirected_hypercube(4)
+        verify_generator_output(g)
+        assert g.n == 16
+        assert g.m == 16 * 4
+
+    def test_bidirect_transform(self):
+        g = directed_cycle(6)
+        b = bidirect(g)
+        verify_generator_output(b)
+        for u in range(6):
+            v = (u + 1) % 6
+            assert b.has_edge(u, v) and b.has_edge(v, u)
+            assert b.weight(u, v) == b.weight(v, u)
+
+    def test_bidirect_takes_min_weight(self):
+        g = Digraph(2)
+        g.add_edge(0, 1, 3.0)
+        g.add_edge(1, 0, 7.0)
+        g.freeze()
+        b = bidirect(g)
+        assert b.weight(0, 1) == 3.0
+        assert b.weight(1, 0) == 3.0
+
+    def test_standard_families(self):
+        fams = standard_families(36, seed=9)
+        assert set(fams) == {
+            "random",
+            "cycle",
+            "torus",
+            "asym-torus",
+            "dht",
+            "layered",
+            "scale-free",
+        }
+        for name, g in fams.items():
+            verify_generator_output(g)
+
+    def test_reproducibility(self):
+        a = random_strongly_connected(30, rng=random.Random(77))
+        b = random_strongly_connected(30, rng=random.Random(77))
+        assert {(e.tail, e.head, e.weight) for e in a.edges()} == {
+            (e.tail, e.head, e.weight) for e in b.edges()
+        }

@@ -1,0 +1,185 @@
+"""Tests for the Section 3 ExStretch TINN scheme."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.graph.generators import (
+    bidirected_torus,
+    directed_cycle,
+    random_dht_overlay,
+    random_strongly_connected,
+)
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import identity_naming, random_naming
+from repro.runtime.simulator import Simulator
+from repro.runtime.sizing import log2_squared
+from repro.runtime.stats import measure_stretch, measure_tables
+from repro.schemes.exstretch import ExStretchScheme
+
+
+def build(g, k=2, naming_seed=0, rng_seed=1):
+    oracle = DistanceOracle(g)
+    naming = random_naming(g.n, random.Random(naming_seed))
+    metric = RoundtripMetric(oracle, ids=naming.all_names())
+    scheme = ExStretchScheme(metric, naming, k=k, rng=random.Random(rng_seed))
+    return oracle, naming, scheme
+
+
+class TestDeliveryAndStretch:
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_random_graph_all_pairs(self, k: int, seed: int):
+        g = random_strongly_connected(24, rng=random.Random(seed))
+        oracle, _naming, scheme = build(g, k, seed, seed + 1)
+        report = measure_stretch(scheme, oracle)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_cycle(self):
+        g = directed_cycle(16, rng=random.Random(3))
+        oracle, _naming, scheme = build(g, 2)
+        report = measure_stretch(scheme, oracle)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_torus(self):
+        g = bidirected_torus(4, 4, rng=random.Random(4))
+        oracle, _naming, scheme = build(g, 2)
+        report = measure_stretch(scheme, oracle)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_dht_k3(self):
+        g = random_dht_overlay(27, rng=random.Random(5))
+        oracle, _naming, scheme = build(g, 3)
+        report = measure_stretch(scheme, oracle, sample=150, rng=random.Random(0))
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_roundtrip_paths_wellformed(self):
+        g = random_strongly_connected(18, rng=random.Random(6))
+        oracle, naming, scheme = build(g)
+        sim = Simulator(scheme)
+        for s in range(0, 18, 3):
+            for t in range(0, 18, 5):
+                if s == t:
+                    continue
+                trace = sim.roundtrip(s, naming.name_of(t))
+                assert trace.outbound.path[0] == s
+                assert trace.outbound.path[-1] == t
+                assert trace.inbound.path[-1] == s
+
+
+class TestWaypointLadder:
+    def test_lemma8_hop_ladder(self):
+        """Lemma 8: the waypoints' roundtrip distances form the
+        doubling ladder r(v_i, v_{i+1}) <= 2^i r(s, t)."""
+        g = random_strongly_connected(27, rng=random.Random(7))
+        oracle, naming, scheme = build(g, 3)
+        metric = scheme.metric
+        sim = Simulator(scheme)
+        for s in range(0, 27, 4):
+            for t in range(0, 27, 5):
+                if s == t:
+                    continue
+                trace = sim.roundtrip(s, naming.name_of(t))
+                # reconstruct waypoints from the outbound path: they are
+                # where the header stack grew; approximate by replaying
+                waypoints = self._waypoints(scheme, s, t, naming)
+                r_st = metric.r(s, t)
+                for i, (a, b) in enumerate(zip(waypoints, waypoints[1:])):
+                    if a == b:
+                        continue
+                    assert metric.r(a, b) <= (2 ** i) * r_st + 1e-9
+
+    @staticmethod
+    def _waypoints(scheme, s, t, naming):
+        """Replay the waypoint ladder without the network."""
+        at = s
+        hop = 0
+        waypoints = [s]
+        dest_name = naming.name_of(t)
+        # direct shortcut mirrors the scheme
+        if dest_name in scheme._near[at]:
+            return [s, t]
+        while at != t and hop < scheme.k:
+            hop += 1
+            nxt, _label = scheme._next_stop(at, hop, dest_name)
+            waypoints.append(nxt)
+            at = nxt
+        return waypoints
+
+    def test_waypoint_prefixes_increase(self):
+        g = random_strongly_connected(27, rng=random.Random(8))
+        _oracle, naming, scheme = build(g, 3)
+        bs = scheme.blocks
+        for s in range(0, 27, 6):
+            for t in range(27):
+                if s == t:
+                    continue
+                dest = naming.name_of(t)
+                if dest in scheme._near[s]:
+                    continue
+                wps = self._waypoints(scheme, s, t, naming)
+                assert wps[-1] == t
+                # each visited waypoint holds a block matching one more
+                # digit of the destination (checked via stored rows)
+                for i, w in enumerate(wps[1:-1], start=1):
+                    held = scheme.distribution.augmented_blocks_of(
+                        w, naming.name_of(w)
+                    )
+                    assert any(
+                        bs.block_has_prefix(b, bs.prefix(dest, i))
+                        for b in held
+                    )
+
+
+class TestHeadersAndTables:
+    def test_header_stack_bounded(self):
+        g = random_strongly_connected(27, rng=random.Random(9))
+        oracle, _naming, scheme = build(g, 3)
+        report = measure_stretch(scheme, oracle, sample=120, rng=random.Random(1))
+        # o(k log^2 n): k pushes of o(log^2 n) labels
+        assert report.max_header_bits <= 8 * scheme.k * log2_squared(27)
+
+    def test_tables_nonempty(self):
+        g = random_strongly_connected(16, rng=random.Random(10))
+        _oracle, _naming, scheme = build(g, 2)
+        report = measure_tables(scheme)
+        assert report.max_entries > 0
+        assert all(scheme.table_entries(v) > 0 for v in range(16))
+
+
+class TestConstruction:
+    def test_k1_rejected(self):
+        g = random_strongly_connected(9, rng=random.Random(11))
+        oracle = DistanceOracle(g)
+        with pytest.raises(ConstructionError):
+            ExStretchScheme(
+                RoundtripMetric(oracle), identity_naming(9), k=1
+            )
+
+    def test_spanner_sharing(self):
+        from repro.rtz.spanner import HandshakeSpanner
+
+        g = random_strongly_connected(12, rng=random.Random(12))
+        oracle = DistanceOracle(g)
+        metric = RoundtripMetric(oracle)
+        sp = HandshakeSpanner(metric, 2)
+        scheme = ExStretchScheme(metric, identity_naming(12), k=2, spanner=sp)
+        assert scheme.spanner is sp
+        report = measure_stretch(scheme, oracle, sample=40, rng=random.Random(2))
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_works_under_many_namings(self):
+        g = random_strongly_connected(16, rng=random.Random(13))
+        oracle = DistanceOracle(g)
+        for seed in range(3):
+            naming = random_naming(16, random.Random(seed))
+            metric = RoundtripMetric(oracle, ids=naming.all_names())
+            scheme = ExStretchScheme(metric, naming, k=2, rng=random.Random(7))
+            report = measure_stretch(
+                scheme, oracle, sample=50, rng=random.Random(seed)
+            )
+            assert report.max_stretch <= scheme.stretch_bound() + 1e-9

@@ -1,0 +1,186 @@
+"""Tests for the Section 4 PolynomialStretch TINN scheme."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.graph.generators import (
+    bidirected_torus,
+    directed_cycle,
+    random_dht_overlay,
+    random_strongly_connected,
+)
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import identity_naming, random_naming
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import measure_stretch, measure_tables
+from repro.schemes.polystretch import PolynomialStretchScheme
+
+
+def build(g, k=2, naming_seed=0):
+    oracle = DistanceOracle(g)
+    naming = random_naming(g.n, random.Random(naming_seed))
+    metric = RoundtripMetric(oracle, ids=naming.all_names())
+    scheme = PolynomialStretchScheme(metric, naming, k=k)
+    return oracle, naming, scheme
+
+
+class TestDeliveryAndStretch:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graph_all_pairs(self, seed: int):
+        g = random_strongly_connected(20, rng=random.Random(seed))
+        oracle, _naming, scheme = build(g, 2, seed)
+        report = measure_stretch(scheme, oracle)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_k3(self):
+        g = random_strongly_connected(27, rng=random.Random(3))
+        oracle, _naming, scheme = build(g, 3)
+        report = measure_stretch(scheme, oracle, sample=150, rng=random.Random(0))
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_cycle(self):
+        g = directed_cycle(14, rng=random.Random(4))
+        oracle, _naming, scheme = build(g, 2)
+        report = measure_stretch(scheme, oracle)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_torus(self):
+        g = bidirected_torus(4, 4, rng=random.Random(5))
+        oracle, _naming, scheme = build(g, 2)
+        report = measure_stretch(scheme, oracle)
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_dht(self):
+        g = random_dht_overlay(20, rng=random.Random(6))
+        oracle, _naming, scheme = build(g, 2)
+        report = measure_stretch(scheme, oracle, sample=120, rng=random.Random(1))
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_paths_wellformed(self):
+        g = random_strongly_connected(16, rng=random.Random(7))
+        oracle, naming, scheme = build(g)
+        sim = Simulator(scheme)
+        for s in range(0, 16, 3):
+            for t in range(0, 16, 5):
+                if s == t:
+                    continue
+                trace = sim.roundtrip(s, naming.name_of(t))
+                assert trace.outbound.path[0] == s
+                assert trace.outbound.path[-1] == t
+                assert trace.inbound.path[-1] == s
+
+
+class TestLevelSearch:
+    def test_succeeds_at_containing_level(self):
+        """The search must succeed no later than the first level whose
+        home tree of s contains t."""
+        g = random_strongly_connected(18, rng=random.Random(8))
+        oracle, naming, scheme = build(g)
+        h = scheme.hierarchy
+        sim = Simulator(scheme)
+        for s in range(0, 18, 4):
+            for t in range(18):
+                if s == t:
+                    continue
+                level = h.first_common_home_level(s, t)
+                # route and check the cost is bounded by the level's
+                # geometry: failed levels + success level, each at most
+                # (k+1) roundtrips through the center, doubled heights
+                trace = sim.roundtrip(s, naming.name_of(t))
+                k = scheme.k
+                bound = 0.0
+                for i in range(level + 1):
+                    height = (2 * k - 1) * (2.0 ** i)
+                    bound += 2 * (k + 1) * height
+                assert trace.total_cost <= bound + 1e-9
+
+    def test_prefix_match_monotone_within_tree(self):
+        # Waypoint rows always strictly increase the match length.
+        g = random_strongly_connected(16, rng=random.Random(9))
+        _oracle, naming, scheme = build(g)
+        bs = scheme.blocks
+        for (tree_id, u), rows in scheme._rows.items():
+            for (j, tau), (v, _addr) in rows.items():
+                name_u = naming.name_of(u)
+                name_v = naming.name_of(v)
+                assert bs.match_length(name_u, name_v) >= j
+                assert bs.digits(name_v)[j] == tau
+
+    def test_row_targets_are_members(self):
+        g = random_strongly_connected(14, rng=random.Random(10))
+        _oracle, _naming, scheme = build(g)
+        for (tree_id, _u), rows in scheme._rows.items():
+            tree = scheme.hierarchy.tree_by_id(tree_id)
+            for (_key, (v, _addr)) in rows.items():
+                assert tree.contains(v)
+
+    def test_row_is_nearest_candidate(self):
+        g = random_strongly_connected(14, rng=random.Random(11))
+        _oracle, naming, scheme = build(g)
+        metric = scheme.metric
+        bs = scheme.blocks
+        # spot-check a handful of rows for nearest-ness
+        checked = 0
+        for (tree_id, u), rows in scheme._rows.items():
+            for (j, tau), (v, _addr) in list(rows.items())[:2]:
+                tree = scheme.hierarchy.tree_by_id(tree_id)
+                cands = [
+                    w
+                    for w in tree.members
+                    if w != u
+                    and bs.digits(naming.name_of(w))[:j]
+                    == bs.digits(naming.name_of(u))[:j]
+                    and bs.digits(naming.name_of(w))[j] == tau
+                ]
+                assert metric.nearest(u, cands) == v
+                checked += 1
+            if checked > 40:
+                break
+        assert checked > 0
+
+
+class TestConstructionAndSizes:
+    def test_k1_rejected(self):
+        g = random_strongly_connected(9, rng=random.Random(12))
+        oracle = DistanceOracle(g)
+        with pytest.raises(ConstructionError):
+            PolynomialStretchScheme(
+                RoundtripMetric(oracle), identity_naming(9), k=1
+            )
+
+    def test_hierarchy_sharing(self):
+        from repro.covers.hierarchy import TreeHierarchy
+
+        g = random_strongly_connected(12, rng=random.Random(13))
+        oracle = DistanceOracle(g)
+        metric = RoundtripMetric(oracle)
+        h = TreeHierarchy(metric, 2)
+        scheme = PolynomialStretchScheme(
+            metric, identity_naming(12), k=2, hierarchy=h
+        )
+        assert scheme.hierarchy is h
+        report = measure_stretch(scheme, oracle, sample=40, rng=random.Random(3))
+        assert report.max_stretch <= scheme.stretch_bound() + 1e-9
+
+    def test_tables_nonempty(self):
+        g = random_strongly_connected(12, rng=random.Random(14))
+        _oracle, _naming, scheme = build(g)
+        report = measure_tables(scheme)
+        assert report.max_entries > 0
+
+    def test_works_under_many_namings(self):
+        g = random_strongly_connected(14, rng=random.Random(15))
+        oracle = DistanceOracle(g)
+        for seed in range(3):
+            naming = random_naming(14, random.Random(seed))
+            metric = RoundtripMetric(oracle, ids=naming.all_names())
+            scheme = PolynomialStretchScheme(metric, naming, k=2)
+            report = measure_stretch(
+                scheme, oracle, sample=40, rng=random.Random(seed)
+            )
+            assert report.max_stretch <= scheme.stretch_bound() + 1e-9

@@ -1,0 +1,164 @@
+"""Tests for Dijkstra and the distance oracle."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, NotStronglyConnectedError
+from repro.graph.digraph import Digraph, from_edge_list
+from repro.graph.generators import (
+    directed_cycle,
+    random_strongly_connected,
+)
+from repro.graph.shortest_paths import (
+    DistanceOracle,
+    dijkstra,
+    path_length,
+    shortest_path,
+)
+
+
+class TestDijkstra:
+    def test_triangle_distances(self, triangle: Digraph):
+        dist, parent = dijkstra(triangle, 0)
+        assert dist == [0.0, 1.0, 3.0]
+        assert parent[1] == 0
+        assert parent[2] == 1
+
+    def test_reverse_distances(self, triangle: Digraph):
+        # distances INTO vertex 0
+        dist, _ = dijkstra(triangle, 0, reverse=True)
+        assert dist[1] == 5.0  # 1->2->0
+        assert dist[2] == 3.0
+
+    def test_unreachable_is_inf(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.freeze()
+        dist, _ = dijkstra(g, 0)
+        assert dist[2] == math.inf
+
+    def test_shortest_path_extraction(self, triangle: Digraph):
+        assert shortest_path(triangle, 0, 2) == [0, 1, 2]
+
+    def test_shortest_path_unreachable_raises(self):
+        g = Digraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.freeze()
+        with pytest.raises(GraphError):
+            shortest_path(g, 1, 0)
+
+    def test_path_length(self, triangle: Digraph):
+        assert path_length(triangle, [0, 1, 2]) == 3.0
+
+    def test_matches_bruteforce_on_random_graphs(self):
+        # Compare against Bellman-Ford-style DP on small graphs.
+        for seed in range(5):
+            g = random_strongly_connected(14, rng=random.Random(seed))
+            n = g.n
+            for s in range(0, n, 5):
+                dist, _ = dijkstra(g, s)
+                bf = [math.inf] * n
+                bf[s] = 0.0
+                for _ in range(n):
+                    for u in range(n):
+                        for (v, w) in g.out_neighbors(u):
+                            if bf[u] + w < bf[v]:
+                                bf[v] = bf[u] + w
+                assert all(
+                    abs(a - b) < 1e-9 for a, b in zip(dist, bf)
+                ), f"seed={seed} source={s}"
+
+    def test_parent_pointers_form_shortest_paths(self):
+        g = random_strongly_connected(20, rng=random.Random(3))
+        dist, parent = dijkstra(g, 0)
+        for v in range(1, g.n):
+            # walk back to source accumulating weight
+            total, x = 0.0, v
+            while x != 0:
+                p = parent[x]
+                total += g.weight(p, x)
+                x = p
+            assert abs(total - dist[v]) < 1e-9
+
+
+class TestDistanceOracle:
+    def test_rejects_non_strongly_connected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.freeze()
+        with pytest.raises(NotStronglyConnectedError):
+            DistanceOracle(g)
+
+    def test_matrix_against_dijkstra(self, small_random: Digraph):
+        oracle = DistanceOracle(small_random)
+        for s in range(0, small_random.n, 7):
+            dist, _ = dijkstra(small_random, s)
+            assert np.allclose(oracle.d_matrix[s], dist)
+
+    def test_roundtrip_symmetry(self, small_oracle: DistanceOracle):
+        r = small_oracle.r_matrix
+        assert np.allclose(r, r.T)
+
+    def test_roundtrip_definition(self, small_oracle: DistanceOracle):
+        n = small_oracle.n
+        for u in range(0, n, 5):
+            for v in range(0, n, 3):
+                assert small_oracle.r(u, v) == pytest.approx(
+                    small_oracle.d(u, v) + small_oracle.d(v, u)
+                )
+
+    def test_cycle_distances(self):
+        g = directed_cycle(10)
+        oracle = DistanceOracle(g)
+        assert oracle.d(0, 1) == 1.0
+        assert oracle.d(1, 0) == 9.0
+        assert oracle.r(0, 1) == 10.0
+        # every pair on a unit cycle has roundtrip exactly n
+        assert np.allclose(
+            oracle.r_matrix + 10 * np.eye(10), np.full((10, 10), 10.0)
+        )
+
+    def test_path_is_shortest(self, small_oracle: DistanceOracle):
+        g = small_oracle.graph
+        for u in range(0, g.n, 6):
+            for v in range(0, g.n, 4):
+                if u == v:
+                    continue
+                p = small_oracle.path(u, v)
+                assert p[0] == u and p[-1] == v
+                assert path_length(g, p) == pytest.approx(small_oracle.d(u, v))
+
+    def test_next_hop_consistent_with_path(self, small_oracle: DistanceOracle):
+        for u in range(0, small_oracle.n, 5):
+            for v in range(small_oracle.n):
+                if u == v:
+                    continue
+                p = small_oracle.path(u, v)
+                assert small_oracle.next_hop(u, v) == p[1]
+
+    def test_next_hop_self_raises(self, small_oracle: DistanceOracle):
+        with pytest.raises(GraphError):
+            small_oracle.next_hop(3, 3)
+
+    def test_diameters(self):
+        g = directed_cycle(8)
+        oracle = DistanceOracle(g)
+        assert oracle.diameter() == 7.0
+        assert oracle.rt_diameter() == 8.0
+
+    def test_forward_tree_parents(self, small_oracle: DistanceOracle):
+        parents = small_oracle.forward_tree_parents(0)
+        assert parents[0] == -1
+        g = small_oracle.graph
+        for v in range(1, small_oracle.n):
+            p = parents[v]
+            assert g.has_edge(p, v)
+            assert small_oracle.d(0, p) + g.weight(p, v) == pytest.approx(
+                small_oracle.d(0, v)
+            )

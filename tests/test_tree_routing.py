@@ -1,0 +1,211 @@
+"""Tests for fixed-port interval tree routing (Lemma 14 substrate)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConstructionError, TableLookupError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import random_strongly_connected
+from repro.graph.shortest_paths import DistanceOracle, dijkstra
+from repro.tree_routing.fixed_port import (
+    OutTreeRouter,
+    ToRootPointers,
+    TreeAddress,
+    build_out_tree,
+)
+
+
+def shortest_path_out_tree(g: Digraph, root: int) -> list:
+    _dist, parents = dijkstra(g, root)
+    return parents
+
+
+def shortest_path_in_pointers(g: Digraph, root: int) -> list:
+    _dist, succ = dijkstra(g, root, reverse=True)
+    return succ
+
+
+class TestOutTreeRouter:
+    def test_route_on_random_sp_tree(self):
+        g = random_strongly_connected(30, rng=random.Random(1))
+        oracle = DistanceOracle(g)
+        parents = shortest_path_out_tree(g, 0)
+        tree = OutTreeRouter(g, 0, parents, tree_id=7)
+        for v in range(g.n):
+            path = tree.route(0, v)
+            assert path[0] == 0 and path[-1] == v
+            # route is exactly optimal from the root (Lemma 14)
+            total = sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(oracle.d(0, v))
+
+    def test_route_from_interior_vertex(self):
+        g = random_strongly_connected(25, rng=random.Random(2))
+        parents = shortest_path_out_tree(g, 3)
+        tree = OutTreeRouter(g, 3, parents, tree_id=0)
+        # pick a vertex with a deep subtree: route from it to any
+        # descendant must stay in its subtree
+        for v in range(g.n):
+            addr = tree.address_of(v)
+            # from the root, always routable
+            assert tree.route(3, v)[-1] == v
+
+    def test_addresses_unique(self):
+        g = random_strongly_connected(20, rng=random.Random(3))
+        tree = OutTreeRouter(g, 0, shortest_path_out_tree(g, 0), tree_id=1)
+        addrs = {tree.address_of(v).dfs for v in range(g.n)}
+        assert len(addrs) == g.n
+
+    def test_next_port_none_at_target(self):
+        g = random_strongly_connected(10, rng=random.Random(4))
+        tree = OutTreeRouter(g, 0, shortest_path_out_tree(g, 0), tree_id=0)
+        assert tree.next_port(5, tree.address_of(5)) is None
+
+    def test_wrong_tree_address_rejected(self):
+        g = random_strongly_connected(10, rng=random.Random(5))
+        tree = OutTreeRouter(g, 0, shortest_path_out_tree(g, 0), tree_id=3)
+        with pytest.raises(TableLookupError):
+            tree.next_port(0, TreeAddress(tree_id=99, dfs=1))
+
+    def test_outside_subtree_rejected(self):
+        # Line 0 -> 1, 0 -> 2: from 1 you cannot route to 2.
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 0, 1.0)  # make strongly connectable, unused by tree
+        g.add_edge(2, 0, 1.0)
+        g.freeze()
+        tree = OutTreeRouter(g, 0, [-1, 0, 0], tree_id=0)
+        with pytest.raises(TableLookupError):
+            tree.next_port(1, tree.address_of(2))
+
+    def test_non_member_rejected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 0, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 1, 1.0)
+        g.freeze()
+        tree = OutTreeRouter(g, 0, [-1, 0, -1], tree_id=0)  # 2 not in tree
+        assert not tree.contains(2)
+        with pytest.raises(TableLookupError):
+            tree.address_of(2)
+        with pytest.raises(TableLookupError):
+            tree.next_port(2, tree.address_of(1))
+
+    def test_missing_edge_rejected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        g.freeze()
+        with pytest.raises(ConstructionError):
+            OutTreeRouter(g, 0, [-1, 0, 0], tree_id=0)  # edge (0,2) missing
+
+    def test_cyclic_parents_rejected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 1, 1.0)
+        g.add_edge(1, 0, 1.0)
+        g.freeze()
+        with pytest.raises(ConstructionError):
+            OutTreeRouter(g, 0, [-1, 2, 1], tree_id=0)
+
+    def test_members_listing(self):
+        g = random_strongly_connected(12, rng=random.Random(6))
+        tree = OutTreeRouter(g, 0, shortest_path_out_tree(g, 0), tree_id=0)
+        assert tree.members() == list(range(12))
+
+    def test_table_entries_counts_children(self):
+        g = Digraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(0, 3, 1.0)
+        for v in (1, 2, 3):
+            g.add_edge(v, 0, 1.0)
+        g.freeze()
+        tree = OutTreeRouter(g, 0, [-1, 0, 0, 0], tree_id=0)
+        assert tree.table_entries_at(0) == 2 + 3 * 3
+        assert tree.table_entries_at(1) == 2
+        assert tree.table_entries_at(99 % 4) >= 0
+
+    def test_address_bit_size(self):
+        addr = TreeAddress(3, 100)
+        assert addr.bit_size(1024) == 2 * 10
+
+
+class TestRestrictedTree:
+    def test_pruning_keeps_steiner_vertices(self):
+        # Path 0 -> 1 -> 2; restricting to {2} must keep 1 as Steiner.
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        g.freeze()
+        tree = build_out_tree(g, 0, [-1, 0, 1], tree_id=0, restrict_to=[2])
+        assert tree.contains(1)
+        assert tree.route(0, 2) == [0, 1, 2]
+
+    def test_pruning_drops_unneeded_branches(self):
+        g = Digraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 3, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        g.add_edge(3, 0, 1.0)
+        g.freeze()
+        tree = build_out_tree(g, 0, [-1, 0, 1, 0], tree_id=0, restrict_to=[2])
+        assert tree.contains(2) and tree.contains(1)
+        assert not tree.contains(3)
+
+    def test_unrestricted_spans_everything(self):
+        g = random_strongly_connected(15, rng=random.Random(7))
+        tree = build_out_tree(g, 0, shortest_path_out_tree(g, 0), tree_id=0)
+        assert len(tree.members()) == 15
+
+
+class TestToRootPointers:
+    def test_routes_to_root_optimally(self):
+        g = random_strongly_connected(30, rng=random.Random(8))
+        oracle = DistanceOracle(g)
+        pointers = ToRootPointers(g, 5, shortest_path_in_pointers(g, 5))
+        for v in range(g.n):
+            path = pointers.route(v)
+            assert path[0] == v and path[-1] == 5
+            total = sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+            assert total == pytest.approx(oracle.d(v, 5))
+
+    def test_next_port_none_at_root(self):
+        g = random_strongly_connected(10, rng=random.Random(9))
+        pointers = ToRootPointers(g, 2, shortest_path_in_pointers(g, 2))
+        assert pointers.next_port(2) is None
+
+    def test_missing_pointer_raises(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 0, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 1, 1.0)
+        g.freeze()
+        pointers = ToRootPointers(g, 0, [-1, 0, -1])
+        assert not pointers.contains(2)
+        with pytest.raises(TableLookupError):
+            pointers.next_port(2)
+
+    def test_missing_edge_rejected(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        g.freeze()
+        with pytest.raises(ConstructionError):
+            ToRootPointers(g, 0, [-1, 0, 0])  # edge (2, 0) exists, (1,0) doesn't
+
+    def test_table_entries(self):
+        g = random_strongly_connected(10, rng=random.Random(10))
+        pointers = ToRootPointers(g, 0, shortest_path_in_pointers(g, 0))
+        assert pointers.table_entries_at(0) == 0
+        assert all(pointers.table_entries_at(v) == 1 for v in range(1, 10))

@@ -1,0 +1,126 @@
+"""Tests for the executable wild-name reduction (Section 1.1.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.graph.generators import random_dht_overlay, random_strongly_connected
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.hashing import HashedNaming, random_wild_names
+from repro.naming.permutation import random_naming
+from repro.runtime.simulator import Simulator
+from repro.runtime.stats import measure_tables
+from repro.schemes.stretch6 import StretchSixScheme
+from repro.schemes.wild_names import WildNameStretchSix
+
+UNIVERSE = 2 ** 40
+
+
+def build(n=24, seed=0):
+    g = random_strongly_connected(n, rng=random.Random(seed))
+    oracle = DistanceOracle(g)
+    rng = random.Random(seed + 1)
+    wild = random_wild_names(n, UNIVERSE, rng)
+    hashed = HashedNaming(wild, UNIVERSE, rng)
+    metric = RoundtripMetric(oracle)
+    scheme = WildNameStretchSix(metric, hashed, rng=random.Random(seed + 2))
+    return g, oracle, hashed, scheme
+
+
+class TestWildDelivery:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_pairs_within_stretch6(self, seed: int):
+        g, oracle, hashed, scheme = build(22, seed)
+        sim = Simulator(scheme)
+        for s in range(g.n):
+            for t in range(0, g.n, 3):
+                if s == t:
+                    continue
+                trace = sim.roundtrip(s, hashed.wild_of_vertex(t))
+                assert trace.total_cost <= 6 * oracle.r(s, t) + 1e-9
+
+    def test_fresh_header_carries_wild_name_only(self):
+        _g, _oracle, hashed, scheme = build()
+        h = scheme.new_packet_header(hashed.wild_of_vertex(3))
+        assert set(h) == {"mode", "dest"}
+        assert h["dest"] == hashed.wild_of_vertex(3)
+
+    def test_colliding_slots_never_misdeliver(self):
+        # Force heavy collisions with a tiny universe: buckets > 1 are
+        # guaranteed, and every wild name must still reach its vertex.
+        n = 20
+        g = random_dht_overlay(n, rng=random.Random(5))
+        oracle = DistanceOracle(g)
+        rng = random.Random(6)
+        wild = random_wild_names(n, 4 * n, rng)
+        hashed = HashedNaming(wild, 4 * n, rng, max_expected_load=n)
+        assert hashed.collision_count() > 0, "want a colliding instance"
+        scheme = WildNameStretchSix(
+            RoundtripMetric(oracle), hashed, rng=random.Random(7)
+        )
+        sim = Simulator(scheme)
+        for t in range(1, n):
+            trace = sim.roundtrip(0, hashed.wild_of_vertex(t))
+            assert trace.outbound.path[-1] == t
+
+    def test_remote_lookup_path_with_lean_blocks(self):
+        n = 28
+        g = random_strongly_connected(n, rng=random.Random(8))
+        oracle = DistanceOracle(g)
+        rng = random.Random(9)
+        wild = random_wild_names(n, UNIVERSE, rng)
+        hashed = HashedNaming(wild, UNIVERSE, rng)
+        scheme = WildNameStretchSix(
+            RoundtripMetric(oracle),
+            hashed,
+            rng=random.Random(10),
+            blocks_per_node=1,
+        )
+        sim = Simulator(scheme)
+        remote = 0
+        for s in range(n):
+            for t in range(n):
+                if s == t:
+                    continue
+                w = hashed.wild_of_vertex(t)
+                if scheme._lookup_r3(s, w) is None:
+                    remote += 1
+                    trace = sim.roundtrip(s, w)
+                    assert trace.total_cost <= 6 * oracle.r(s, t) + 1e-9
+        assert remote > 30
+
+
+class TestReductionCost:
+    def test_constant_blowup_vs_permutation_scheme(self):
+        n = 36
+        g = random_strongly_connected(n, rng=random.Random(11))
+        oracle = DistanceOracle(g)
+        metric = RoundtripMetric(oracle)
+        rng = random.Random(12)
+        wild = random_wild_names(n, UNIVERSE, rng)
+        hashed = HashedNaming(wild, UNIVERSE, rng)
+        wild_scheme = WildNameStretchSix(metric, hashed, rng=random.Random(13))
+        perm_scheme = StretchSixScheme(
+            metric, random_naming(n, random.Random(14)), rng=random.Random(13)
+        )
+        ref = [perm_scheme.table_entries(v) for v in range(n)]
+        factor = wild_scheme.blow_up_factor(ref)
+        assert factor <= 3.0, f"blow-up {factor} is not constant-like"
+
+    def test_mismatched_sizes_rejected(self):
+        g = random_strongly_connected(10, rng=random.Random(15))
+        metric = RoundtripMetric(DistanceOracle(g))
+        rng = random.Random(16)
+        wild = random_wild_names(12, UNIVERSE, rng)
+        hashed = HashedNaming(wild, UNIVERSE, rng)
+        with pytest.raises(ConstructionError):
+            WildNameStretchSix(metric, hashed)
+
+    def test_tables_measured(self):
+        _g, _oracle, _hashed, scheme = build(20, 17)
+        report = measure_tables(scheme)
+        assert report.max_entries > 0
