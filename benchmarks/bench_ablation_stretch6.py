@@ -30,6 +30,7 @@ def test_lookup_detour_ablation(benchmark):
         blocks_per_node=1,
     )
     g = inst.graph
+    n = g.n
 
     def run():
         deployed_worst = 0.0
@@ -37,8 +38,8 @@ def test_lookup_detour_ablation(benchmark):
         deployed_sum = 0.0
         variant_sum = 0.0
         pairs = 0
-        for s in range(48):
-            for t in range(0, 48, 5):
+        for s in range(n):
+            for t in range(0, n, 5):
                 if s == t:
                     continue
                 dest_name = inst.naming.name_of(t)
@@ -67,7 +68,7 @@ def test_lookup_detour_ablation(benchmark):
         return pairs, deployed_worst, variant_worst, deployed_sum, variant_sum
 
     pairs, dw, vw, ds, vs = benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E13 / Section 2.2 ablation - dictionary detour shape (n=48)")
+    banner(f"E13 / Section 2.2 ablation - dictionary detour shape (n={n})")
     print(f"pairs needing a dictionary trip: {pairs}")
     print(f"{'':>16} {'deployed s->w->t':>17} {'variant s->w->s->t':>19}")
     print(f"{'worst stretch':>16} {dw:>17.2f} {vw:>19.2f}")
@@ -85,6 +86,7 @@ def test_variant_as_deployed_scheme(benchmark):
     from repro.schemes.stretch6_variant import StretchSixViaSourceScheme
 
     inst = cached_instance("random", 48, seed=0)
+    n = inst.graph.n
     results = {}
 
     def run():
@@ -112,7 +114,7 @@ def test_variant_as_deployed_scheme(benchmark):
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E13b / §2.2 - deployed vs via-source, full journeys (n=48)")
+    banner(f"E13b / §2.2 - deployed vs via-source, full journeys (n={n})")
     print(f"{'':>14} {'max':>7} {'mean':>7}")
     for label, rep in results.items():
         print(f"{label:>14} {rep.max_stretch:>7.2f} {rep.mean_stretch:>7.2f}")

@@ -18,19 +18,20 @@ from repro.naming.blocks import BlockSpace
 
 def test_block_distribution_lemma4(benchmark):
     inst = cached_instance("random", 64, seed=0)
+    n = inst.graph.n
     results = {}
 
     def run():
         for k in (2, 3, 4):
             dist = BlockDistribution(
-                inst.metric, BlockSpace(64, k), random.Random(k)
+                inst.metric, BlockSpace(n, k), random.Random(k)
             )
             dist.verify()
             results[k] = dist
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E3 / Fig. 2 + Lemma 4 - block distribution (n=64)")
+    banner(f"E3 / Fig. 2 + Lemma 4 - block distribution (n={n})")
     print(f"{'k':>3} {'blocks':>7} {'max |S_v|':>10} {'mean':>6} "
           f"{'budget':>7} {'patches':>8}")
     for k, dist in results.items():
@@ -42,7 +43,7 @@ def test_block_distribution_lemma4(benchmark):
         )
         assert dist.max_blocks_per_node() <= dist.per_node_bound()
     # O(log n) shape: budget within a small multiple of ln(n)
-    ln_n = math.log(64)
+    ln_n = math.log(n)
     for dist in results.values():
         assert dist.per_node_bound() <= 10 * ln_n
 
@@ -51,19 +52,20 @@ def test_block_coverage_probability(benchmark):
     """How often does pure sampling succeed without patches? (the
     with-high-probability claim, measured)."""
     inst = cached_instance("random", 49, seed=0)
+    n = inst.graph.n
 
     def run():
         clean = 0
         trials = 12
         for seed in range(trials):
             dist = BlockDistribution(
-                inst.metric, BlockSpace(49, 2), random.Random(seed)
+                inst.metric, BlockSpace(n, 2), random.Random(seed)
             )
             if dist.patches_applied == 0:
                 clean += 1
         return clean, trials
 
     clean, trials = benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E3b / Lemma 1 - sampling success rate (n=49, k=2)")
+    banner(f"E3b / Lemma 1 - sampling success rate (n={n}, k=2)")
     print(f"runs with zero deterministic patches: {clean}/{trials}")
     assert clean >= trials // 2  # w.h.p. in practice too

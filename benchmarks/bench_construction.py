@@ -3,28 +3,33 @@
 The paper notes tables can be computed centrally in time proportional
 to all-pairs shortest paths.  This experiment times each stage of the
 pipeline (APSP oracle, metric, substrate, scheme tables) so the
-dominant term is visible, and uses pytest-benchmark's statistics on
-the full stretch-6 build.
+dominant term is visible, benchmarks the full stretch-6 build, and
+pits the vectorized CSR engine against the legacy per-source Dijkstra
+loop head-to-head (E11c).
 """
 
 from __future__ import annotations
 
+import gc
 import random
+import statistics
 import time
 
-from conftest import banner
+from conftest import SMOKE, banner, bench_n
 
 from repro.analysis.experiments import Instance
+from repro.graph.apsp import apsp_matrices
+from repro.graph.csr import CSRGraph
 from repro.graph.generators import random_strongly_connected
 from repro.graph.roundtrip import RoundtripMetric
-from repro.graph.shortest_paths import DistanceOracle
+from repro.graph.shortest_paths import DistanceOracle, dijkstra
 from repro.naming.permutation import random_naming
 from repro.rtz.routing import RTZStretch3
 from repro.schemes.stretch6 import StretchSixScheme
 
 
 def test_pipeline_stage_times(benchmark):
-    n = 64
+    n = bench_n(64)
     g = random_strongly_connected(n, rng=random.Random(1))
     stages = {}
 
@@ -48,7 +53,7 @@ def test_pipeline_stage_times(benchmark):
         return stages
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E11 / Section 6 - preprocessing stage times (n=64)")
+    banner(f"E11 / Section 6 - preprocessing stage times (n={n})")
     total = sum(stages.values())
     for label, secs in stages.items():
         print(f"  {label:<18}: {secs * 1000:8.1f} ms "
@@ -58,7 +63,7 @@ def test_pipeline_stage_times(benchmark):
 
 def test_stretch6_build_benchmark(benchmark):
     """pytest-benchmark statistics for the full scheme build."""
-    g = random_strongly_connected(36, rng=random.Random(4))
+    g = random_strongly_connected(bench_n(36), rng=random.Random(4))
     inst = Instance.prepare(g, seed=5)
 
     def build():
@@ -73,9 +78,10 @@ def test_stretch6_build_benchmark(benchmark):
 def test_apsp_scaling(benchmark):
     """Construction is APSP-dominated: time the oracle across n."""
     rows = []
+    sizes = tuple(bench_n(n) for n in (32, 64, 128))
 
     def run():
-        for n in (32, 64, 128):
+        for n in sizes:
             g = random_strongly_connected(n, rng=random.Random(n))
             t0 = time.perf_counter()
             DistanceOracle(g)
@@ -86,3 +92,85 @@ def test_apsp_scaling(benchmark):
     banner("E11b - APSP oracle scaling")
     for (n, secs) in rows:
         print(f"  n={n:>4}: {secs * 1000:7.1f} ms")
+
+
+def _timed_pair(fn_a, fn_b, reps: int) -> tuple:
+    """Median wall times of two competitors measured in interleaved
+    rounds (a, b, a, b, ...), so ambient machine-load drift hits both
+    sides equally instead of biasing whichever ran last.  Each timed
+    call is preceded by an untimed warm-up call (the other side's run
+    evicts caches; warm-up refills them for both sides alike), and
+    the collector is drained between reps so neither side inherits
+    the other's garbage."""
+    times_a, times_b = [], []
+    for _ in range(reps):
+        for fn, times in ((fn_a, times_a), (fn_b, times_b)):
+            gc.collect()
+            fn()
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+    return statistics.median(times_a), statistics.median(times_b)
+
+
+def test_vectorized_engine_speedup(benchmark):
+    """E11c — the vectorized CSR engine vs the per-source Dijkstra
+    loop on the random family at n=256 (the repo's headline perf
+    claim: >= 5x on the APSP kernel, with bit-identical output)."""
+    n = bench_n(256)
+    g = random_strongly_connected(n, rng=random.Random(7))
+    reps = 1 if SMOKE else 7
+
+    def python_kernel():
+        out = []
+        for s in range(n):
+            out.append(dijkstra(g, s))
+        return out
+
+    def vectorized_kernel():
+        return apsp_matrices(CSRGraph.from_digraph(g))
+
+    # same floats, same trees — the speedup is not buying approximation
+    sample = range(0, n, max(1, n // 8))
+    trees = python_kernel()
+    d, parent = vectorized_kernel()
+    for s in sample:
+        dist, par = trees[s]
+        assert d[s].tolist() == dist
+        assert parent[s].tolist() == par
+    del trees, d, parent
+
+    t_python, t_vector = _timed_pair(python_kernel, vectorized_kernel, reps)
+    benchmark(vectorized_kernel)
+
+    speedup = t_python / t_vector
+    banner(f"E11c - vectorized CSR APSP engine vs python loop (n={n})")
+    print(f"  python loop  : {t_python * 1000:8.1f} ms")
+    print(f"  vectorized   : {t_vector * 1000:8.1f} ms")
+    print(f"  speedup      : {speedup:8.1f} x   (bit-identical output)")
+    if not SMOKE:
+        assert speedup >= 5.0, (
+            f"vectorized APSP engine regressed: only {speedup:.1f}x over "
+            "the python loop (>= 5x required on random @ n=256)"
+        )
+
+
+def test_oracle_engine_construction(benchmark):
+    """E11d — end-to-end DistanceOracle construction per engine (adds
+    the r matrix, parent storage, and bookkeeping both engines share)."""
+    n = bench_n(256)
+    g = random_strongly_connected(n, rng=random.Random(8))
+    reps = 1 if SMOKE else 3
+
+    t_python, t_vector = _timed_pair(
+        lambda: DistanceOracle(g, engine="python"),
+        lambda: DistanceOracle(g, engine="vectorized"),
+        reps,
+    )
+    oracle = benchmark(lambda: DistanceOracle(g, engine="vectorized"))
+
+    assert oracle.engine == "vectorized"
+    banner(f"E11d - DistanceOracle construction by engine (n={n})")
+    print(f"  engine=python     : {t_python * 1000:8.1f} ms")
+    print(f"  engine=vectorized : {t_vector * 1000:8.1f} ms")
+    print(f"  speedup           : {t_python / t_vector:8.1f} x")

@@ -7,7 +7,6 @@ properties (ball containment, radius blow-up <= 2k-1, vertex load
 
 from __future__ import annotations
 
-import math
 
 from conftest import banner, cached_instance
 

@@ -19,6 +19,7 @@ from repro.schemes.exstretch import ExStretchScheme
 
 def test_exstretch_tradeoff(benchmark):
     inst = cached_instance("random", 64, seed=0)
+    n = inst.graph.n
     rows = {}
 
     def run():
@@ -34,11 +35,11 @@ def test_exstretch_tradeoff(benchmark):
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E4 / Theorem 9 - ExStretch stretch/space tradeoff (n=64)")
+    banner(f"E4 / Theorem 9 - ExStretch stretch/space tradeoff (n={n})")
     print(f"{'k':>3} {'bound':>8} {'max':>7} {'mean':>7} "
           f"{'tab max':>8} {'hdr bits':>9} {'hdr budget':>11}")
     for k, (scheme, rep, tab) in rows.items():
-        budget = 8 * k * log2_squared(64)
+        budget = 8 * k * log2_squared(n)
         print(
             f"{k:>3} {scheme.stretch_bound():>8.1f} {rep.max_stretch:>7.2f} "
             f"{rep.mean_stretch:>7.2f} {tab.max_entries:>8} "
@@ -51,14 +52,15 @@ def test_exstretch_tradeoff(benchmark):
 def test_exstretch_lemma8_ladder(benchmark):
     """Lemma 8: r(v_i, v_{i+1}) <= 2^i r(s, t) along the waypoints."""
     inst = cached_instance("random", 64, seed=0)
+    n = inst.graph.n
     scheme = ExStretchScheme(inst.metric, inst.naming, k=3, rng=random.Random(5))
     naming, metric = inst.naming, inst.metric
 
     def ladder_violations():
         checked = 0
         worst_ratio = 0.0
-        for s in range(0, 64, 5):
-            for t in range(0, 64, 7):
+        for s in range(0, n, 5):
+            for t in range(0, n, 7):
                 if s == t:
                     continue
                 dest = naming.name_of(t)

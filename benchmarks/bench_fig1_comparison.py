@@ -14,7 +14,6 @@ from conftest import banner, cached_instance
 
 from repro.analysis.experiments import (
     assert_rows_sound,
-    default_factories,
     fig1_comparison,
     format_rows,
 )

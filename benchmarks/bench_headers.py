@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 
-from conftest import banner
+from conftest import banner, bench_n
 
 from repro.analysis.experiments import Instance
 from repro.graph.generators import random_strongly_connected
@@ -21,7 +21,7 @@ from repro.schemes.stretch6 import StretchSixScheme
 
 
 def test_header_growth_sweep(benchmark):
-    sizes = [16, 36, 64]
+    sizes = sorted({bench_n(n) for n in (16, 36, 64)})
     rows = []
 
     def run():
@@ -64,10 +64,11 @@ def test_real_wire_encoding(benchmark):
     from repro.runtime.scheme import Forward
     from repro.runtime.simulator import Simulator
 
-    g = random_strongly_connected(48, rng=random.Random(21))
+    n = bench_n(48)
+    g = random_strongly_connected(n, rng=random.Random(21))
     inst = Instance.prepare(g, seed=22)
     scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(23))
-    codec = HeaderCodec(48)
+    codec = HeaderCodec(n)
 
     def run():
         captured = []
@@ -81,23 +82,24 @@ def test_real_wire_encoding(benchmark):
 
         scheme.forward = tap  # type: ignore[method-assign]
         sim = Simulator(scheme)
-        for t in range(1, 48, 3):
+        for t in range(1, n, 3):
             sim.roundtrip(0, inst.naming.name_of(t))
         scheme.forward = real_forward  # type: ignore[method-assign]
         return captured
 
     sizes = benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E8c - real wire encoding of live headers (stretch-6, n=48)")
+    banner(f"E8c - real wire encoding of live headers (stretch-6, n={n})")
     print(f"headers encoded : {len(sizes)}")
     print(f"max bits        : {max(sizes)}")
     print(f"mean bits       : {sum(sizes) / len(sizes):.0f}")
-    print(f"log2(n)^2       : {log2_squared(48):.0f}")
-    assert max(sizes) <= 12 * log2_squared(48)
+    print(f"log2(n)^2       : {log2_squared(n):.0f}")
+    assert max(sizes) <= 12 * log2_squared(n)
 
 
 def test_headers_monotone_reasonable(benchmark):
     """Headers must never explode mid-route (every hop re-measured)."""
-    g = random_strongly_connected(36, rng=random.Random(9))
+    n = bench_n(36)
+    g = random_strongly_connected(n, rng=random.Random(9))
     inst = Instance.prepare(g, seed=10)
     scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(11))
 
@@ -108,7 +110,7 @@ def test_headers_monotone_reasonable(benchmark):
         return rep.max_header_bits
 
     worst = benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E8b - worst mid-route header (stretch-6, n=36)")
+    banner(f"E8b - worst mid-route header (stretch-6, n={n})")
     print(f"max header anywhere: {worst} bits "
-          f"(budget ~ {8 * log2_squared(36):.0f})")
-    assert worst <= 8 * log2_squared(36)
+          f"(budget ~ {8 * log2_squared(n):.0f})")
+    assert worst <= 8 * log2_squared(n)

@@ -17,6 +17,7 @@ from repro.schemes.polystretch import PolynomialStretchScheme
 
 def test_polystretch_tradeoff(benchmark):
     inst = cached_instance("random", 48, seed=0)
+    n = inst.graph.n
     rows = {}
 
     def run():
@@ -30,7 +31,7 @@ def test_polystretch_tradeoff(benchmark):
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E5 / Section 4.3 - PolynomialStretch tradeoff (n=48)")
+    banner(f"E5 / Section 4.3 - PolynomialStretch tradeoff (n={n})")
     print(f"{'k':>3} {'bound 8k^2+4k-4':>16} {'max':>7} {'mean':>7} "
           f"{'tab max':>8} {'hdr bits':>9}")
     for k, (scheme, rep, tab) in rows.items():
@@ -45,13 +46,14 @@ def test_polystretch_tradeoff(benchmark):
 def test_polystretch_level_search(benchmark):
     """How deep does the level-doubling search go before succeeding?"""
     inst = cached_instance("random", 48, seed=0)
+    n = inst.graph.n
     scheme = PolynomialStretchScheme(inst.metric, inst.naming, k=2)
     h = scheme.hierarchy
 
     def run():
         histogram = {}
-        for s in range(48):
-            for t in range(0, 48, 5):
+        for s in range(n):
+            for t in range(0, n, 5):
                 if s == t:
                     continue
                 level = h.first_common_home_level(s, t)

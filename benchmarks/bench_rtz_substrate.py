@@ -17,14 +17,15 @@ from repro.rtz.routing import RTZStretch3
 
 def test_lemma2_leg_bounds(benchmark):
     inst = cached_instance("random", 48, seed=0)
+    n = inst.graph.n
     rtz = RTZStretch3(inst.metric, random.Random(1))
     g = inst.graph
 
     def run():
         worst_leg = 0.0
         worst_rt = 0.0
-        for x in range(48):
-            for y in range(48):
+        for x in range(n):
+            for y in range(n):
                 if x == y:
                     continue
                 fwd = path_length(g, rtz.route_leg(x, y))
@@ -38,7 +39,7 @@ def test_lemma2_leg_bounds(benchmark):
         return worst_leg, worst_rt
 
     worst_leg, worst_rt = benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E7 / Lemma 2 - RTZ-3 substrate bounds (n=48, all pairs)")
+    banner(f"E7 / Lemma 2 - RTZ-3 substrate bounds (n={n}, all pairs)")
     print(f"worst leg cost / (r + d) : {worst_leg:.3f}  (bound 1.0)")
     print(f"worst roundtrip stretch  : {worst_rt:.3f}  (bound 3.0)")
     assert worst_leg <= 1.0 + 1e-9
@@ -80,6 +81,7 @@ def test_rtz_table_shape(benchmark):
 def test_center_cluster_balance(benchmark):
     """E[|C(v)|] ~ n / |A|: the two table halves stay balanced."""
     inst = cached_instance("random", 64, seed=0)
+    n = inst.graph.n
 
     def run():
         rtz = RTZStretch3(inst.metric, random.Random(5))
@@ -90,7 +92,7 @@ def test_center_cluster_balance(benchmark):
         )
 
     centers, mean_c, max_c = benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E7c / Lemma 2 - landmark vs cluster balance (n=64)")
+    banner(f"E7c / Lemma 2 - landmark vs cluster balance (n={n})")
     print(f"|A| = {centers}, mean |C(v)| = {mean_c:.1f}, max = {max_c}")
-    print(f"n / |A| = {64 / centers:.1f} (expected cluster scale)")
-    assert mean_c <= 6 * 64 / centers
+    print(f"n / |A| = {n / centers:.1f} (expected cluster scale)")
+    assert mean_c <= 6 * n / centers

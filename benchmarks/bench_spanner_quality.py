@@ -18,12 +18,13 @@ from repro.rtz.spanner import HandshakeSpanner
 
 def test_handshake_stretch_distribution(benchmark):
     inst = cached_instance("random", 48, seed=0)
+    n = inst.graph.n
 
     def run():
         sp = HandshakeSpanner(inst.metric, k=2)
         ratios = []
-        for u in range(48):
-            for v in range(u + 1, 48):
+        for u in range(n):
+            for v in range(u + 1, n):
                 cost = sp.r2(u, v)
                 tree = sp.tree_of(cost)
                 ratios.append(
@@ -48,6 +49,7 @@ def test_handshake_stretch_distribution(benchmark):
 
 def test_handshake_stretch_vs_k(benchmark):
     inst = cached_instance("random", 36, seed=0)
+    n = inst.graph.n
     rows = {}
 
     def run():
@@ -56,8 +58,8 @@ def test_handshake_stretch_vs_k(benchmark):
             worst = 0.0
             total = 0.0
             pairs = 0
-            for u in range(36):
-                for v in range(u + 1, 36):
+            for u in range(n):
+                for v in range(u + 1, n):
                     tree = sp.tree_of(sp.r2(u, v))
                     ratio = tree.roundtrip_cost(u, v) / inst.oracle.r(u, v)
                     worst = max(worst, ratio)

@@ -20,7 +20,6 @@ from repro.analysis.experiments import (
 from repro.analysis.stretch import stretch_distribution
 from repro.graph.generators import random_strongly_connected
 from repro.runtime.simulator import Simulator
-from repro.runtime.stats import measure_tables
 from repro.schemes.stretch6 import StretchSixScheme
 
 

@@ -23,8 +23,9 @@ UNIVERSE = 2 ** 48
 
 def test_wild_name_routing(benchmark):
     inst = cached_instance("random", 48, seed=0)
+    n = inst.graph.n
     rng = random.Random(41)
-    wild = random_wild_names(48, UNIVERSE, rng)
+    wild = random_wild_names(n, UNIVERSE, rng)
     hashed = HashedNaming(wild, UNIVERSE, rng)
     results = {}
 
@@ -41,8 +42,8 @@ def test_wild_name_routing(benchmark):
         pairs = 0
         prng = random.Random(43)
         for _ in range(300):
-            s = prng.randrange(48)
-            t = prng.randrange(48)
+            s = prng.randrange(n)
+            t = prng.randrange(n)
             if s == t:
                 continue
             trace = sim.roundtrip(s, hashed.wild_of_vertex(t))
@@ -58,7 +59,7 @@ def test_wild_name_routing(benchmark):
         return results
 
     benchmark.pedantic(run, rounds=1, iterations=1)
-    banner("E18 / §1.1.2 - wild-name routing end to end (n=48, 2^48 ids)")
+    banner(f"E18 / §1.1.2 - wild-name routing end to end (n={n}, 2^48 ids)")
     print(f"hash max bucket        : {results['max_load']}")
     print(f"worst roundtrip stretch: {results['worst']:.2f}  (bound 6.0)")
     print(f"mean roundtrip stretch : {results['mean']:.2f}")

@@ -6,17 +6,22 @@ inequalities, and times the dominant kernel with pytest-benchmark.
 
 Graphs and schemes are cached per session: the experiments intentionally
 share instances so the printed tables are mutually comparable.
+
+Smoke mode: setting ``REPRO_BENCH_SMOKE=1`` (the CI bench job does)
+clamps instance sizes via :func:`bench_n` so every benchmark module
+executes end-to-end in seconds.  Size-calibrated performance
+assertions are skipped in smoke mode; correctness assertions still run.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, Tuple
 
 import pytest
 
 from repro.analysis.experiments import Instance
-from repro.graph.digraph import Digraph
 from repro.graph.generators import (
     bidirected_torus,
     directed_cycle,
@@ -24,12 +29,26 @@ from repro.graph.generators import (
     random_strongly_connected,
 )
 
-_INSTANCE_CACHE: Dict[Tuple[str, int], Instance] = {}
+#: True when the CI smoke job runs the suite with tiny instances.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
+#: Instance-size ceiling applied by :func:`bench_n` in smoke mode.
+SMOKE_N = 16
+
+
+def bench_n(n: int) -> int:
+    """The benchmark size to actually use: ``n`` normally, clamped to
+    :data:`SMOKE_N` when ``REPRO_BENCH_SMOKE=1``."""
+    return min(n, SMOKE_N) if SMOKE else n
+
+
+_INSTANCE_CACHE: Dict[Tuple[str, int, int], Instance] = {}
 
 
 def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:
-    """Session-cached experiment instance of one family/size."""
-    key = (kind, n)
+    """Session-cached experiment instance of one family/size/seed."""
+    n = bench_n(n)
+    key = (kind, n, seed)
     if key not in _INSTANCE_CACHE:
         rng = random.Random(seed + n)
         if kind == "random":

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 import sys
 
-from repro import ExStretchScheme, Instance, Simulator, random_strongly_connected
+from repro import ExStretchScheme, Instance, random_strongly_connected
 from repro.runtime.scheme import Deliver, Forward
 
 

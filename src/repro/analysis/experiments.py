@@ -19,12 +19,7 @@ from repro.graph.roundtrip import RoundtripMetric
 from repro.graph.shortest_paths import DistanceOracle
 from repro.naming.permutation import Naming, random_naming
 from repro.runtime.scheme import RoutingScheme
-from repro.runtime.stats import (
-    StretchReport,
-    TableReport,
-    measure_stretch,
-    measure_tables,
-)
+from repro.runtime.stats import measure_stretch, measure_tables
 from repro.schemes.exstretch import ExStretchScheme
 from repro.schemes.polystretch import PolynomialStretchScheme
 from repro.schemes.rtz_baseline import RTZBaselineScheme

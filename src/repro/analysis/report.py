@@ -9,7 +9,7 @@ CLI (``python -m repro.cli report``) or from notebooks.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.analysis.experiments import (
     Instance,

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli tables --scheme exstretch --n 36 --k 2
     python -m repro.cli covers --n 36 --k 2 --scale 8
     python -m repro.cli distributed --n 24
+    python -m repro.cli traffic --n 64 --scheme stretch6 --workload mixed
 
 Each subcommand prints the same paper-style rows the benchmark suite
 records in EXPERIMENTS.md, on a graph of the requested size/family.
@@ -33,6 +34,7 @@ from repro.graph.digraph import Digraph
 from repro.graph.generators import standard_families
 from repro.graph.shortest_paths import DistanceOracle
 from repro.naming.permutation import random_naming
+from repro.runtime.traffic import WORKLOAD_KINDS, generate_workload, run_workload
 from repro.schemes.exstretch import ExStretchScheme
 from repro.schemes.polystretch import PolynomialStretchScheme
 from repro.schemes.rtz_baseline import RTZBaselineScheme
@@ -129,6 +131,30 @@ def cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traffic(args: argparse.Namespace) -> int:
+    g = _graph(args.family, args.n, args.seed)
+    inst = Instance.prepare(g, seed=args.seed + 1)
+    scheme, bound = _scheme(args.scheme, inst, args.k, args.seed + 2)
+    workload = generate_workload(
+        args.workload,
+        g.n,
+        args.pairs,
+        rng=random.Random(args.seed + 3),
+        oracle=inst.oracle,
+    )
+    summary = run_workload(scheme, workload, oracle=inst.oracle)
+    print(f"scheme     : {scheme.name} on {args.family} (n={g.n})")
+    print(summary.format())
+    if summary.pairs == 0:
+        print("\nempty workload; nothing to route")
+        return 0
+    if summary.max_stretch <= bound + 1e-9:
+        print(f"\nwithin the claimed stretch bound {bound:.1f}")
+        return 0
+    print(f"\nEXCEEDED the claimed stretch bound {bound:.1f}")
+    return 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -186,6 +212,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p)
     p.set_defaults(func=cmd_distributed)
+
+    p = sub.add_parser(
+        "traffic", help="route a batched traffic workload through a scheme"
+    )
+    common(p)
+    p.add_argument(
+        "--scheme",
+        default="stretch6",
+        help="stretch6 / exstretch / polystretch / rtz",
+    )
+    p.add_argument(
+        "--workload",
+        default="mixed",
+        choices=WORKLOAD_KINDS,
+        help="traffic shape (uniform / hotspot / adversarial / mixed)",
+    )
+    p.add_argument("--pairs", type=int, default=1000, help="journeys to route")
+    p.set_defaults(func=cmd_traffic)
 
     p = sub.add_parser(
         "report", help="generate a full markdown reproduction report"

@@ -22,9 +22,9 @@ them (see DESIGN.md, modeling decisions).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
-from repro.exceptions import ConstructionError, TableLookupError
+from repro.exceptions import ConstructionError
 from repro.graph.shortest_paths import DistanceOracle, dijkstra
 from repro.tree_routing.fixed_port import (
     OutTreeRouter,

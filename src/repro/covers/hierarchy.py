@@ -14,7 +14,7 @@ ids ``i * LEVEL_STRIDE + j``.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from repro.covers.double_tree import DoubleTree
 from repro.covers.sparse_cover import DoubleTreeCover

@@ -17,7 +17,7 @@ collections), matching the counting argument of Lemma 11 properties
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set
 
 
 @dataclass(frozen=True)

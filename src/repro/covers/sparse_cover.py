@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List
 
 from repro.covers.double_tree import DoubleTree
 from repro.covers.partial_cover import partial_cover

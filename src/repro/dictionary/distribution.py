@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import ConstructionError
 from repro.graph.roundtrip import RoundtripMetric

@@ -30,12 +30,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.distributed.preprocessing import (
-    DistributedPreprocessing,
-    PhaseCost,
-)
+from repro.distributed.preprocessing import DistributedPreprocessing
 from repro.exceptions import ConstructionError, GraphError
 from repro.graph.digraph import Digraph
 from repro.graph.shortest_paths import DistanceOracle

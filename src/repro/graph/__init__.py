@@ -6,6 +6,13 @@ shortest-path machinery, and the roundtrip metric with the ``Init_v``
 total order used by every scheme in the paper.
 """
 
+from repro.graph.apsp import (
+    TIE_EPS,
+    apsp_matrices,
+    min_distances,
+    vectorized_engine_supported,
+)
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Digraph, Edge, from_edge_list
 from repro.graph.generators import (
     asymmetric_torus,
@@ -38,6 +45,11 @@ __all__ = [
     "Digraph",
     "Edge",
     "from_edge_list",
+    "CSRGraph",
+    "apsp_matrices",
+    "min_distances",
+    "vectorized_engine_supported",
+    "TIE_EPS",
     "DistanceOracle",
     "dijkstra",
     "shortest_path",

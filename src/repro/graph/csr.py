@@ -1,0 +1,183 @@
+"""Immutable CSR (compressed-sparse-row) adjacency for a digraph.
+
+The pure-Python :class:`~repro.graph.digraph.Digraph` stores adjacency
+as per-vertex lists of ``(head, weight)`` tuples — convenient for
+construction and for the fixed-port forwarding interface, but hostile
+to the numpy-batched relaxation kernels in :mod:`repro.graph.apsp`.
+:class:`CSRGraph` snapshots that topology once into flat arrays:
+
+* the *out* representation (``out_indptr``/``out_heads``/``out_weights``)
+  lists every edge grouped by tail, and
+* the *in* representation (``in_indptr``/``in_tails``/``in_weights``)
+  lists every edge grouped by head, with ``in_targets`` giving the head
+  vertex of each slot (the segment id, materialized for vectorized
+  gathers).
+
+All arrays are marked read-only so a :class:`CSRGraph` can be shared
+freely between oracles, benchmarks, and analysis code.  The snapshot is
+taken at construction time: mutating an unfrozen :class:`Digraph`
+afterwards does not update the CSR view (the same contract the
+distance oracle has always had).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.graph.digraph import Digraph
+
+# One snapshot per frozen graph: a frozen Digraph's topology can never
+# change, so its CSR form is built once and shared (the key is weak so
+# snapshots die with their graphs).
+_SNAPSHOT_CACHE: "weakref.WeakKeyDictionary[Digraph, CSRGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class CSRGraph:
+    """Read-only CSR snapshot of a :class:`Digraph`.
+
+    Build via :meth:`from_digraph`; the constructor takes the raw
+    arrays (already validated) and freezes them.
+
+    Attributes:
+        n: vertex count.
+        m: directed edge count.
+        out_indptr: ``(n + 1,)`` int64; out-edges of ``u`` occupy slots
+            ``out_indptr[u]:out_indptr[u + 1]``.
+        out_heads: ``(m,)`` int64 edge heads, grouped by tail.
+        out_weights: ``(m,)`` float64 edge weights, aligned with
+            ``out_heads``.
+        in_indptr: ``(n + 1,)`` int64; in-edges of ``v`` occupy slots
+            ``in_indptr[v]:in_indptr[v + 1]``.
+        in_tails: ``(m,)`` int64 edge tails, grouped by head.
+        in_weights: ``(m,)`` float64 edge weights, aligned with
+            ``in_tails``.
+        in_targets: ``(m,)`` int64; ``in_targets[e]`` is the head
+            vertex owning in-slot ``e`` (i.e. ``v`` for every slot in
+            ``in_indptr[v]:in_indptr[v + 1]``).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "out_indptr",
+        "out_heads",
+        "out_weights",
+        "in_indptr",
+        "in_tails",
+        "in_weights",
+        "in_targets",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        out_indptr: np.ndarray,
+        out_heads: np.ndarray,
+        out_weights: np.ndarray,
+        in_indptr: np.ndarray,
+        in_tails: np.ndarray,
+        in_weights: np.ndarray,
+    ):
+        self.n = n
+        self.m = int(out_heads.shape[0])
+        self.out_indptr = out_indptr
+        self.out_heads = out_heads
+        self.out_weights = out_weights
+        self.in_indptr = in_indptr
+        self.in_tails = in_tails
+        self.in_weights = in_weights
+        self.in_targets = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(in_indptr)
+        )
+        for name in (
+            "out_indptr",
+            "out_heads",
+            "out_weights",
+            "in_indptr",
+            "in_tails",
+            "in_weights",
+            "in_targets",
+        ):
+            getattr(self, name).flags.writeable = False
+
+    @classmethod
+    def from_digraph(cls, g: Digraph) -> "CSRGraph":
+        """Snapshot ``g``'s topology into CSR form.
+
+        Works on frozen and unfrozen graphs alike (only the adjacency
+        is read, never ports).  Frozen graphs are immutable, so their
+        snapshot is built once and cached; unfrozen graphs get a fresh
+        snapshot per call.
+        """
+        if g.frozen:
+            cached = _SNAPSHOT_CACHE.get(g)
+            if cached is None:
+                cached = _SNAPSHOT_CACHE[g] = cls._build(g)
+            return cached
+        return cls._build(g)
+
+    @classmethod
+    def _build(cls, g: Digraph) -> "CSRGraph":
+        n = g.n
+        out_deg = np.empty(n + 1, dtype=np.int64)
+        out_deg[0] = 0
+        in_deg = np.empty(n + 1, dtype=np.int64)
+        in_deg[0] = 0
+        for u in range(n):
+            out_deg[u + 1] = g.out_degree(u)
+            in_deg[u + 1] = g.in_degree(u)
+        out_indptr = np.cumsum(out_deg)
+        in_indptr = np.cumsum(in_deg)
+        m = int(out_indptr[-1])
+        out_heads = np.empty(m, dtype=np.int64)
+        out_weights = np.empty(m, dtype=np.float64)
+        in_tails = np.empty(m, dtype=np.int64)
+        in_weights = np.empty(m, dtype=np.float64)
+        for u in range(n):
+            base = out_indptr[u]
+            for i, (head, w) in enumerate(g.out_neighbors(u)):
+                out_heads[base + i] = head
+                out_weights[base + i] = w
+            base = in_indptr[u]
+            for i, (tail, w) in enumerate(g.in_neighbors(u)):
+                in_tails[base + i] = tail
+                in_weights[base + i] = w
+        return cls(
+            n, out_indptr, out_heads, out_weights,
+            in_indptr, in_tails, in_weights,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience queries (primarily for tests and debugging)
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degree array (freshly allocated)."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """Per-vertex in-degree array (freshly allocated)."""
+        return np.diff(self.in_indptr)
+
+    def out_edges(self, u: int):
+        """``(heads, weights)`` views of ``u``'s out-edges."""
+        lo, hi = int(self.out_indptr[u]), int(self.out_indptr[u + 1])
+        return self.out_heads[lo:hi], self.out_weights[lo:hi]
+
+    def in_edges(self, v: int):
+        """``(tails, weights)`` views of ``v``'s in-edges."""
+        lo, hi = int(self.in_indptr[v]), int(self.in_indptr[v + 1])
+        return self.in_tails[lo:hi], self.in_weights[lo:hi]
+
+    def min_weight(self) -> float:
+        """Minimum edge weight (``inf`` for an edgeless graph)."""
+        if self.m == 0:
+            return float("inf")
+        return float(self.out_weights.min())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.n}, m={self.m})"

@@ -6,9 +6,25 @@ all-pairs shortest-path computation (Section 6).  This module provides:
 * single-source Dijkstra (:func:`dijkstra`) returning distances and
   shortest-path-tree parents, with the deterministic tie-breaking the
   rest of the library relies on;
-* :func:`shortest_path` extraction;
+* :func:`shortest_path` extraction (cached: repeated queries against
+  the same frozen graph reuse one tree per source, and reuse a live
+  :class:`DistanceOracle` outright when one exists);
 * :class:`DistanceOracle`, a cached all-pairs distance matrix with the
   roundtrip matrix ``r = d + d^T`` alongside (used by every scheme).
+
+The oracle has two interchangeable engines:
+
+* ``engine="vectorized"`` (the default) builds a CSR snapshot
+  (:mod:`repro.graph.csr`) and computes all ``n`` sources at once with
+  the numpy-batched relaxation in :mod:`repro.graph.apsp`;
+* ``engine="python"`` runs the classic ``n`` heap Dijkstras and is
+  kept as the differential-testing reference.
+
+Both produce bit-identical distance, roundtrip, and parent matrices
+(asserted over every standard graph family in
+``tests/test_csr_apsp.py``).  The vectorized engine requires edge
+weights well above the tie tolerance; the default transparently falls
+back to the python engine on (pathological) graphs where that fails.
 
 Dijkstra tie-breaking: when two paths to ``v`` have equal length, the
 one whose predecessor has the smaller vertex id wins.  This makes
@@ -20,11 +36,18 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Optional, Sequence, Tuple
+import weakref
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError, NotStronglyConnectedError
+from repro.graph.apsp import (
+    TIE_EPS,
+    apsp_matrices,
+    vectorized_engine_supported,
+)
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Digraph
 
 INF = math.inf
@@ -65,8 +88,8 @@ def dijkstra(
         done[u] = True
         for (v, w) in neighbors(u):
             nd = d + w
-            if nd < dist[v] - 1e-12 or (
-                abs(nd - dist[v]) <= 1e-12 and parent[v] > u and not done[v]
+            if nd < dist[v] - TIE_EPS or (
+                abs(nd - dist[v]) <= TIE_EPS and parent[v] > u and not done[v]
             ):
                 dist[v] = nd
                 parent[v] = u
@@ -74,13 +97,52 @@ def dijkstra(
     return dist, parent
 
 
+# ----------------------------------------------------------------------
+# per-graph caches for repeated shortest_path() queries
+# ----------------------------------------------------------------------
+# Analysis code calls shortest_path() in per-pair loops; re-running a
+# full Dijkstra per call is quadratic waste.  For frozen (immutable)
+# graphs we keep one forward tree per queried source, and when a
+# DistanceOracle has been built for the graph we use its cached trees
+# directly.  Keys are weak so caches die with their graphs.
+_TREE_CACHE: "weakref.WeakKeyDictionary[Digraph, Dict[int, Tuple[List[float], List[int]]]]" = (
+    weakref.WeakKeyDictionary()
+)
+_ORACLE_CACHE: "weakref.WeakKeyDictionary[Digraph, weakref.ref]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _cached_tree(g: Digraph, source: int) -> Tuple[List[float], List[int]]:
+    """The forward Dijkstra tree from ``source``, cached for frozen
+    graphs (a frozen graph's topology can no longer change)."""
+    if not g.frozen:
+        return dijkstra(g, source)
+    trees = _TREE_CACHE.setdefault(g, {})
+    tree = trees.get(source)
+    if tree is None:
+        tree = trees[source] = dijkstra(g, source)
+    return tree
+
+
 def shortest_path(g: Digraph, source: int, target: int) -> List[int]:
     """Return a shortest path ``source -> ... -> target`` as vertex ids.
+
+    Queries against a frozen graph are served from cached trees (one
+    Dijkstra per distinct source, or zero when a
+    :class:`DistanceOracle` for the graph is alive), so per-pair loops
+    in analysis code no longer pay a full Dijkstra per call.
 
     Raises:
         GraphError: if ``target`` is unreachable from ``source``.
     """
-    dist, parent = dijkstra(g, source)
+    oracle_ref = _ORACLE_CACHE.get(g)
+    oracle = oracle_ref() if oracle_ref is not None else None
+    if oracle is not None:
+        if source == target:
+            return [source]
+        return oracle.path(source, target)
+    dist, parent = _cached_tree(g, source)
     if dist[target] == INF:
         raise GraphError(f"vertex {target} unreachable from {source}")
     path = [target]
@@ -101,7 +163,7 @@ def path_length(g: Digraph, path: Sequence[int]) -> float:
 class DistanceOracle:
     """All-pairs distances with the derived roundtrip metric.
 
-    Computes ``n`` Dijkstra runs once and caches:
+    Computes the all-pairs solution once and caches:
 
     * ``d`` — the ``n x n`` one-way distance matrix (``d[u, v]`` is the
       shortest ``u -> v`` distance),
@@ -111,29 +173,72 @@ class DistanceOracle:
     * forward shortest-path-tree parents from every source, used to
       extract canonical shortest paths without re-running Dijkstra.
 
+    Args:
+        g: the digraph (must be strongly connected).
+        engine: ``"vectorized"`` computes all sources at once over a
+            CSR snapshot with numpy-batched relaxation
+            (:mod:`repro.graph.apsp`); ``"python"`` runs ``n`` heap
+            Dijkstras (the legacy reference); ``"auto"`` (the default)
+            uses the vectorized engine whenever its tie-break is exact
+            for the graph's weights (it is for anything but
+            pathologically tiny weights) and the python engine
+            otherwise.  All engines produce bit-identical matrices.
+
     Raises:
         NotStronglyConnectedError: if any pair is unreachable.
+        GraphError: for an unknown ``engine``, or ``"vectorized"`` on
+            a graph with weights below the engine's safe threshold.
     """
 
-    def __init__(self, g: Digraph):
+    def __init__(self, g: Digraph, engine: str = "auto"):
+        if engine not in ("auto", "vectorized", "python"):
+            raise GraphError(
+                f"unknown DistanceOracle engine {engine!r}; "
+                "choose 'auto', 'vectorized', or 'python'"
+            )
         n = g.n
         self._g = g
-        self._d = np.empty((n, n), dtype=np.float64)
-        self._parent: List[List[int]] = []
-        for s in range(n):
-            dist, parent = dijkstra(g, s)
-            if any(x == INF for x in dist):
+        if engine == "auto":
+            csr = CSRGraph.from_digraph(g)
+            engine = "vectorized" if vectorized_engine_supported(csr) else "python"
+        else:
+            csr = CSRGraph.from_digraph(g) if engine == "vectorized" else None
+        self._engine = engine
+        if engine == "vectorized":
+            d, pmat = apsp_matrices(csr)
+            unreachable = np.isinf(d).any(axis=1)
+            if unreachable.any():
+                s = int(np.flatnonzero(unreachable)[0])
                 raise NotStronglyConnectedError(
                     f"vertex unreachable from {s}; graph must be strongly connected"
                 )
-            self._d[s, :] = dist
-            self._parent.append(parent)
+            self._d = d
+            self._parent: List[List[int]] = pmat.tolist()
+        else:
+            self._d = np.empty((n, n), dtype=np.float64)
+            self._parent = []
+            for s in range(n):
+                dist, parent = dijkstra(g, s)
+                if any(x == INF for x in dist):
+                    raise NotStronglyConnectedError(
+                        f"vertex unreachable from {s}; graph must be strongly connected"
+                    )
+                self._d[s, :] = dist
+                self._parent.append(parent)
         self._r = self._d + self._d.T
+        if g.frozen:
+            _ORACLE_CACHE[g] = weakref.ref(self)
 
     @property
     def graph(self) -> Digraph:
         """The underlying digraph."""
         return self._g
+
+    @property
+    def engine(self) -> str:
+        """Which engine built this oracle (``"vectorized"`` or
+        ``"python"``; ``"auto"`` resolves at construction)."""
+        return self._engine
 
     @property
     def n(self) -> int:

@@ -30,9 +30,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.exceptions import ConstructionError, TableLookupError
+from repro.exceptions import TableLookupError
 from repro.graph.roundtrip import RoundtripMetric
 from repro.graph.shortest_paths import dijkstra
 from repro.rtz.centers import CenterAssignment, sample_centers

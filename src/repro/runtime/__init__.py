@@ -27,6 +27,17 @@ from repro.runtime.stats import (
     measure_stretch,
     measure_tables,
 )
+from repro.runtime.traffic import (
+    WORKLOAD_KINDS,
+    TrafficSummary,
+    Workload,
+    adversarial_pairs,
+    generate_workload,
+    hotspot_pairs,
+    mixed_pairs,
+    run_workload,
+    uniform_pairs,
+)
 
 __all__ = [
     "RoutingScheme",
@@ -53,4 +64,13 @@ __all__ = [
     "TableReport",
     "measure_stretch",
     "measure_tables",
+    "Workload",
+    "TrafficSummary",
+    "WORKLOAD_KINDS",
+    "uniform_pairs",
+    "hotspot_pairs",
+    "adversarial_pairs",
+    "mixed_pairs",
+    "generate_workload",
+    "run_workload",
 ]

@@ -20,7 +20,7 @@ Format: a sequence of tagged fields.  Each field is
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.exceptions import ReproError
 from repro.runtime.scheme import Header

@@ -17,7 +17,7 @@ simulator also:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.exceptions import HopLimitExceeded, RoutingError
 from repro.runtime.scheme import Deliver, Forward, Header, RoutingScheme
@@ -147,3 +147,35 @@ class Simulator:
         return_header = self._scheme.make_return_header(delivered)
         inbound, _final = self._run_leg(dest_vertex, return_header, source)
         return RoundtripTrace(outbound, inbound)
+
+    def roundtrip_many(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        by_name: bool = False,
+    ) -> List[RoundtripTrace]:
+        """Run the full roundtrip protocol for a batch of pairs.
+
+        This is the entry point for traffic workloads (see
+        :mod:`repro.runtime.traffic`): one simulator instance amortizes
+        scheme/graph lookups across the whole batch, and every journey
+        is executed under the same hop budget.
+
+        Args:
+            pairs: ``(source, destination)`` pairs.  Sources are always
+                vertex ids.  Destinations are vertex ids by default
+                (translated through the scheme's naming, matching how
+                workload generators produce pairs); pass
+                ``by_name=True`` when destinations already are names.
+
+        Returns:
+            One :class:`RoundtripTrace` per pair, in input order.
+
+        Raises:
+            RoutingError: propagated from any journey — batch
+                measurement never hides a delivery bug.
+        """
+        name_of = self._scheme.name_of
+        return [
+            self.roundtrip(s, t if by_name else name_of(t))
+            for (s, t) in pairs
+        ]

@@ -20,7 +20,7 @@ accounting; the structured labels in :mod:`repro.rtz` do.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable
+from typing import Any
 
 
 def id_bits(n: int) -> int:

@@ -1,0 +1,316 @@
+"""Batched traffic workloads: generators and the measurement harness.
+
+The paper's motivation is routing under real traffic — millions of
+(source, destination) journeys against fixed tables.  This module
+makes heavy-traffic scenarios a first-class workload:
+
+* pair generators for the three canonical traffic shapes —
+  :func:`uniform_pairs` (background load), :func:`hotspot_pairs`
+  (popular-destination skew, the DHT/content-server regime), and
+  :func:`adversarial_pairs` (the largest-roundtrip pairs, where
+  stretch bounds are under the most pressure) — plus
+  :func:`mixed_pairs` blending all three;
+* :func:`run_workload`, which drives a whole workload through
+  :meth:`repro.runtime.simulator.Simulator.roundtrip_many` and
+  aggregates cost, stretch, hop, and header statistics into one
+  :class:`TrafficSummary`.
+
+Exposed on the command line as ``python -m repro.cli traffic``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graph.shortest_paths import DistanceOracle
+from repro.runtime.scheme import RoutingScheme
+from repro.runtime.simulator import Simulator
+
+#: Workload kinds understood by :func:`generate_workload`.
+WORKLOAD_KINDS = ("uniform", "hotspot", "adversarial", "mixed")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named batch of ``(source_vertex, dest_vertex)`` pairs."""
+
+    kind: str
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def _check_args(n: int, count: int) -> None:
+    if count < 0:
+        raise GraphError(f"workload size must be >= 0, got {count}")
+    if count > 0 and n < 2:
+        raise GraphError("traffic workloads need a graph with n >= 2")
+
+
+def uniform_pairs(
+    n: int, count: int, rng: Optional[random.Random] = None
+) -> List[Tuple[int, int]]:
+    """``count`` ordered pairs drawn uniformly (source != dest)."""
+    _check_args(n, count)
+    rng = rng or random.Random(0)
+    pairs = []
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n - 1)
+        if t >= s:
+            t += 1
+        pairs.append((s, t))
+    return pairs
+
+
+def hotspot_pairs(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    num_hotspots: Optional[int] = None,
+    hotspot_bias: float = 0.8,
+) -> List[Tuple[int, int]]:
+    """Traffic concentrated on a few hot destinations.
+
+    Args:
+        n: vertex count.
+        count: pairs to draw.
+        rng: randomness source.
+        num_hotspots: how many destinations are hot (default
+            ``max(1, n // 16)``).
+        hotspot_bias: probability that a pair targets a hotspot (the
+            rest of the traffic stays uniform).
+    """
+    _check_args(n, count)
+    if not 0.0 <= hotspot_bias <= 1.0:
+        raise GraphError(f"hotspot_bias must be in [0, 1], got {hotspot_bias}")
+    rng = rng or random.Random(0)
+    k = num_hotspots if num_hotspots is not None else max(1, n // 16)
+    if not 1 <= k <= n:
+        raise GraphError(f"num_hotspots must be in [1, n], got {k}")
+    hotspots = rng.sample(range(n), k)
+    pairs = []
+    for _ in range(count):
+        if rng.random() < hotspot_bias:
+            t = rng.choice(hotspots)
+        else:
+            t = rng.randrange(n)
+        s = rng.randrange(n - 1)
+        if s >= t:
+            s += 1
+        pairs.append((s, t))
+    return pairs
+
+
+def adversarial_pairs(
+    oracle: DistanceOracle,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[int, int]]:
+    """The ``count`` pairs with the largest roundtrip distances.
+
+    These are the journeys where a scheme's multiplicative stretch
+    bound costs the most in absolute terms; the first pair realizes
+    the roundtrip diameter.  When ``count`` exceeds the number of
+    ordered pairs, the list cycles.  ``rng``, when given, shuffles the
+    batch order (the multiset of pairs stays deterministic).
+    """
+    n = oracle.n
+    _check_args(n, count)
+    if count == 0:
+        return []
+    r = oracle.r_matrix.copy()
+    np.fill_diagonal(r, -np.inf)
+    flat = np.argsort(-r, axis=None, kind="stable")[: n * n - n]
+    take = flat[np.arange(count) % flat.shape[0]]
+    pairs = [(int(i) // n, int(i) % n) for i in take]
+    if rng is not None:
+        rng.shuffle(pairs)
+    return pairs
+
+
+def mixed_pairs(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    oracle: Optional[DistanceOracle] = None,
+) -> List[Tuple[int, int]]:
+    """A 40/40/20 uniform/hotspot/adversarial blend (the adversarial
+    share falls back to uniform when no oracle is supplied)."""
+    _check_args(n, count)
+    rng = rng or random.Random(0)
+    n_uni = (2 * count) // 5
+    n_hot = (2 * count) // 5
+    n_adv = count - n_uni - n_hot
+    pairs = uniform_pairs(n, n_uni, rng) + hotspot_pairs(n, n_hot, rng)
+    if oracle is not None:
+        pairs += adversarial_pairs(oracle, n_adv, rng)
+    else:
+        pairs += uniform_pairs(n, n_adv, rng)
+    rng.shuffle(pairs)
+    return pairs
+
+
+def generate_workload(
+    kind: str,
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    oracle: Optional[DistanceOracle] = None,
+) -> Workload:
+    """Build a :class:`Workload` of one of the standard kinds.
+
+    Args:
+        kind: one of :data:`WORKLOAD_KINDS`.
+        n: vertex count of the target graph.
+        count: number of pairs.
+        rng: randomness source.
+        oracle: required for ``"adversarial"``; optional (but
+            recommended) for ``"mixed"``.
+    """
+    if kind == "uniform":
+        return Workload(kind, uniform_pairs(n, count, rng))
+    if kind == "hotspot":
+        return Workload(kind, hotspot_pairs(n, count, rng))
+    if kind == "adversarial":
+        if oracle is None:
+            raise GraphError("adversarial workloads need a DistanceOracle")
+        return Workload(kind, adversarial_pairs(oracle, count, rng))
+    if kind == "mixed":
+        return Workload(kind, mixed_pairs(n, count, rng, oracle))
+    raise GraphError(
+        f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
+    )
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregate statistics of one workload run.
+
+    Attributes:
+        kind: workload kind label.
+        pairs: journeys executed.
+        total_cost: summed roundtrip path cost.
+        mean_cost: average roundtrip path cost.
+        mean_hops: average roundtrip hop count.
+        max_hops: worst roundtrip hop count.
+        max_header_bits: largest header seen in any journey.
+        mean_stretch: average roundtrip stretch (``nan`` without an
+            oracle).
+        max_stretch: worst roundtrip stretch (``nan`` without an
+            oracle).
+        worst_pair: the pair achieving ``max_stretch`` (``(-1, -1)``
+            without an oracle or an empty workload).
+        elapsed_s: wall-clock seconds spent routing the batch.
+    """
+
+    kind: str
+    pairs: int
+    total_cost: float
+    mean_cost: float
+    mean_hops: float
+    max_hops: int
+    max_header_bits: int
+    mean_stretch: float
+    max_stretch: float
+    worst_pair: Tuple[int, int]
+    elapsed_s: float
+
+    @property
+    def pairs_per_s(self) -> float:
+        """Routing throughput of the batch."""
+        return self.pairs / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def format(self) -> str:
+        """Human-readable block, as printed by the CLI."""
+        lines = [
+            f"workload   : {self.kind}",
+            f"pairs      : {self.pairs}",
+            f"total cost : {self.total_cost:.1f}",
+            f"mean cost  : {self.mean_cost:.2f}",
+            f"mean hops  : {self.mean_hops:.2f}   (max {self.max_hops})",
+            f"hdr bits   : {self.max_header_bits}",
+        ]
+        if self.pairs and not np.isnan(self.max_stretch):
+            lines.append(
+                f"stretch    : mean {self.mean_stretch:.3f}, "
+                f"max {self.max_stretch:.3f} at {self.worst_pair}"
+            )
+        lines.append(
+            f"throughput : {self.pairs_per_s:,.0f} pairs/s "
+            f"({self.elapsed_s * 1000:.1f} ms)"
+        )
+        return "\n".join(lines)
+
+
+def run_workload(
+    scheme: RoutingScheme,
+    workload: Workload | Sequence[Tuple[int, int]],
+    oracle: Optional[DistanceOracle] = None,
+    hop_limit: Optional[int] = None,
+) -> TrafficSummary:
+    """Route a whole workload and aggregate the statistics.
+
+    Args:
+        scheme: the scheme under load (already constructed).
+        workload: a :class:`Workload` or a raw pair list.
+        oracle: ground-truth distances; enables stretch columns.
+        hop_limit: forwarded to the :class:`Simulator`.
+
+    Raises:
+        GraphError: if any pair has ``source == destination``
+            (roundtrip stretch is undefined there).
+        RoutingError: propagated from the simulator on any failure.
+    """
+    if isinstance(workload, Workload):
+        kind, pairs = workload.kind, workload.pairs
+    else:
+        kind, pairs = "custom", list(workload)
+    for (s, t) in pairs:
+        if s == t:
+            raise GraphError(
+                f"traffic pairs need source != destination, got ({s}, {t})"
+            )
+    sim = Simulator(scheme, hop_limit=hop_limit)
+    t0 = time.perf_counter()
+    traces = sim.roundtrip_many(pairs)
+    elapsed = time.perf_counter() - t0
+    if not traces:
+        return TrafficSummary(
+            kind, 0, 0.0, 0.0, 0.0, 0, 0, float("nan"), float("nan"),
+            (-1, -1), elapsed,
+        )
+    total_cost = sum(t.total_cost for t in traces)
+    total_hops = sum(t.total_hops for t in traces)
+    max_bits = max(t.max_header_bits for t in traces)
+    mean_stretch = max_stretch = float("nan")
+    worst_pair = (-1, -1)
+    if oracle is not None:
+        stretches = [
+            t.total_cost / oracle.r(s, v)
+            for t, (s, v) in zip(traces, pairs)
+        ]
+        mean_stretch = sum(stretches) / len(stretches)
+        worst = max(range(len(stretches)), key=stretches.__getitem__)
+        max_stretch = stretches[worst]
+        worst_pair = pairs[worst]
+    return TrafficSummary(
+        kind=kind,
+        pairs=len(traces),
+        total_cost=total_cost,
+        mean_cost=total_cost / len(traces),
+        mean_hops=total_hops / len(traces),
+        max_hops=max(t.total_hops for t in traces),
+        max_header_bits=max_bits,
+        mean_stretch=mean_stretch,
+        max_stretch=max_stretch,
+        worst_pair=worst_pair,
+        elapsed_s=elapsed,
+    )

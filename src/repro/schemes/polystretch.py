@@ -44,7 +44,6 @@ from repro.runtime.scheme import (
     RETURN_PACKET,
     RoutingScheme,
 )
-from repro.runtime.sizing import id_bits
 from repro.tree_routing.fixed_port import TreeAddress
 
 #: internal modes (Fig. 11 uses a single Enroute mode; we keep the

@@ -14,12 +14,8 @@ as usual; worst-case stretch is still 6 by the paper's remark.
 
 from __future__ import annotations
 
-import random
-from typing import Optional
 
 from repro.exceptions import TableLookupError
-from repro.graph.roundtrip import RoundtripMetric
-from repro.naming.permutation import Naming
 from repro.runtime.scheme import (
     Decision,
     Deliver,
@@ -28,7 +24,7 @@ from repro.runtime.scheme import (
     NEW_PACKET,
     RETURN_PACKET,
 )
-from repro.rtz.routing import R3Label, RTZStretch3
+from repro.rtz.routing import R3Label
 from repro.schemes.stretch6 import StretchSixScheme
 
 #: variant modes: dictionary roundtrip out / back, then final trip

@@ -17,7 +17,6 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.stretch import stretch_distribution
 from repro.graph.generators import random_strongly_connected
-from repro.naming.permutation import identity_naming
 from repro.schemes.shortest_path import ShortestPathScheme
 from repro.schemes.stretch6 import StretchSixScheme
 

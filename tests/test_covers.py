@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest
@@ -16,7 +15,6 @@ from repro.covers.sparse_cover import (
     verify_cover_properties,
 )
 from repro.exceptions import ConstructionError
-from repro.graph.digraph import Digraph
 from repro.graph.generators import (
     bidirected_torus,
     directed_cycle,

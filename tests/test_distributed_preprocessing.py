@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 import random
 
-import pytest
 
 from repro.distributed.preprocessing import DistributedPreprocessing
 from repro.graph.generators import (

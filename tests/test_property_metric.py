@@ -8,7 +8,6 @@ the invariants every scheme's correctness rests on.
 
 from __future__ import annotations
 
-import math
 import random
 
 import numpy as np

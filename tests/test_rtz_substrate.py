@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.exceptions import ConstructionError
-from repro.graph.digraph import Digraph
 from repro.graph.generators import (
     asymmetric_torus,
     bidirected_torus,
@@ -141,7 +140,6 @@ class TestRTZLegs:
 
     def test_asymmetric_torus_legs(self):
         metric = make_metric(asymmetric_torus(3, 4))
-        g = metric.oracle.graph
         rtz = RTZStretch3(metric, random.Random(6))
         for x in range(0, 12, 2):
             for y in range(12):

@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.exceptions import HopLimitExceeded, RoutingError
-from repro.graph.digraph import Digraph
 from repro.graph.generators import (
     directed_cycle,
     random_strongly_connected,
@@ -15,10 +14,8 @@ from repro.graph.generators import (
 from repro.graph.shortest_paths import DistanceOracle
 from repro.naming.permutation import identity_naming, random_naming
 from repro.runtime.scheme import (
-    Decision,
     Deliver,
     Forward,
-    Header,
     NEW_PACKET,
     RETURN_PACKET,
     RoutingScheme,

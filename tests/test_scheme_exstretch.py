@@ -83,7 +83,7 @@ class TestWaypointLadder:
             for t in range(0, 27, 5):
                 if s == t:
                     continue
-                trace = sim.roundtrip(s, naming.name_of(t))
+                sim.roundtrip(s, naming.name_of(t))
                 # reconstruct waypoints from the outbound path: they are
                 # where the header stack grew; approximate by replaying
                 waypoints = self._waypoints(scheme, s, t, naming)

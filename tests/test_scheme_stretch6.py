@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import random
 
 import pytest
@@ -17,7 +16,7 @@ from repro.graph.generators import (
 )
 from repro.graph.roundtrip import RoundtripMetric
 from repro.graph.shortest_paths import DistanceOracle
-from repro.naming.permutation import Naming, identity_naming, random_naming
+from repro.naming.permutation import identity_naming, random_naming
 from repro.runtime.simulator import Simulator
 from repro.runtime.sizing import log2_squared
 from repro.runtime.stats import measure_stretch, measure_tables

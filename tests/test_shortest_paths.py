@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import GraphError, NotStronglyConnectedError
-from repro.graph.digraph import Digraph, from_edge_list
+from repro.graph.digraph import Digraph
 from repro.graph.generators import (
     directed_cycle,
     random_strongly_connected,
@@ -84,6 +84,68 @@ class TestDijkstra:
                 total += g.weight(p, x)
                 x = p
             assert abs(total - dist[v]) < 1e-9
+
+
+class TestShortestPathCaching:
+    def test_one_dijkstra_per_source_on_frozen_graphs(self, monkeypatch):
+        import repro.graph.shortest_paths as sp
+
+        g = random_strongly_connected(18, rng=random.Random(2))
+        calls = []
+        real = sp.dijkstra
+        monkeypatch.setattr(
+            sp, "dijkstra", lambda *a, **kw: calls.append(a) or real(*a, **kw)
+        )
+        expected = {}
+        for t in range(1, g.n):
+            expected[t] = sp.shortest_path(g, 0, t)
+        assert len(calls) == 1  # one tree serves every target
+        # cached answers match a fresh computation
+        for t, path in expected.items():
+            d, par = real(g, 0)
+            fresh = [t]
+            while fresh[-1] != 0:
+                fresh.append(par[fresh[-1]])
+            fresh.reverse()
+            assert path == fresh
+
+    def test_unfrozen_graphs_not_cached(self, monkeypatch):
+        import repro.graph.shortest_paths as sp
+
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        calls = []
+        real = sp.dijkstra
+        monkeypatch.setattr(
+            sp, "dijkstra", lambda *a, **kw: calls.append(a) or real(*a, **kw)
+        )
+        sp.shortest_path(g, 0, 2)
+        sp.shortest_path(g, 0, 2)
+        assert len(calls) == 2  # mutable graph: no caching
+
+    def test_live_oracle_serves_shortest_path(self, monkeypatch):
+        import repro.graph.shortest_paths as sp
+
+        g = random_strongly_connected(16, rng=random.Random(4))
+        oracle = DistanceOracle(g)
+        calls = []
+        real = sp.dijkstra
+        monkeypatch.setattr(
+            sp, "dijkstra", lambda *a, **kw: calls.append(a) or real(*a, **kw)
+        )
+        for u in range(0, g.n, 3):
+            for v in range(g.n):
+                if u != v:
+                    assert sp.shortest_path(g, u, v) == oracle.path(u, v)
+        assert calls == []  # served entirely from the oracle's trees
+
+    def test_identity_path(self):
+        g = random_strongly_connected(8, rng=random.Random(5))
+        assert shortest_path(g, 3, 3) == [3]
+        DistanceOracle(g)
+        assert shortest_path(g, 3, 3) == [3]
 
 
 class TestDistanceOracle:

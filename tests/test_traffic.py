@@ -1,0 +1,205 @@
+"""Tests for the batched traffic harness: workload generators,
+``Simulator.roundtrip_many``, ``run_workload``, and the ``traffic``
+CLI subcommand."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import GraphError
+from repro.graph.digraph import Digraph
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.permutation import random_naming
+from repro.runtime.simulator import Simulator
+from repro.runtime.traffic import (
+    WORKLOAD_KINDS,
+    Workload,
+    adversarial_pairs,
+    generate_workload,
+    hotspot_pairs,
+    mixed_pairs,
+    run_workload,
+    uniform_pairs,
+)
+from repro.schemes.shortest_path import ShortestPathScheme
+from repro.schemes.stretch6 import StretchSixScheme
+
+
+@pytest.fixture
+def sp_scheme(small_random: Digraph):
+    oracle = DistanceOracle(small_random)
+    naming = random_naming(small_random.n, random.Random(3))
+    return ShortestPathScheme(oracle, naming), oracle
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("gen", [uniform_pairs, hotspot_pairs])
+    def test_pairs_valid(self, gen):
+        pairs = gen(20, 500, random.Random(0))
+        assert len(pairs) == 500
+        for (s, t) in pairs:
+            assert 0 <= s < 20 and 0 <= t < 20 and s != t
+
+    def test_uniform_covers_sources(self):
+        pairs = uniform_pairs(10, 1000, random.Random(1))
+        assert {s for (s, _t) in pairs} == set(range(10))
+
+    def test_hotspot_concentrates_destinations(self):
+        n, count = 64, 2000
+        pairs = hotspot_pairs(n, count, random.Random(2))
+        freq: dict = {}
+        for (_s, t) in pairs:
+            freq[t] = freq.get(t, 0) + 1
+        # with n // 16 = 4 hotspots at bias 0.8, the top destination
+        # carries ~20% of traffic vs ~1.6% under uniform load
+        assert max(freq.values()) > 5 * (count / n)
+
+    def test_adversarial_starts_at_rt_diameter(self, small_oracle):
+        pairs = adversarial_pairs(small_oracle, 10)
+        s, t = pairs[0]
+        assert small_oracle.r(s, t) == small_oracle.rt_diameter()
+        # sorted by decreasing roundtrip distance
+        rs = [small_oracle.r(s, t) for (s, t) in pairs]
+        assert rs == sorted(rs, reverse=True)
+
+    def test_adversarial_cycles_when_exhausted(self, small_oracle):
+        n = small_oracle.n
+        total = n * n - n
+        pairs = adversarial_pairs(small_oracle, total + 5)
+        assert len(pairs) == total + 5
+        assert pairs[:5] == pairs[total:]
+
+    def test_mixed_blends(self, small_oracle):
+        pairs = mixed_pairs(
+            small_oracle.n, 200, random.Random(3), oracle=small_oracle
+        )
+        assert len(pairs) == 200
+        for (s, t) in pairs:
+            assert s != t
+
+    @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+    def test_generate_workload(self, kind, small_oracle):
+        wl = generate_workload(
+            kind, small_oracle.n, 50, random.Random(4), oracle=small_oracle
+        )
+        assert wl.kind == kind and len(wl) == 50
+
+    def test_generate_workload_rejects_unknown_kind(self):
+        with pytest.raises(GraphError):
+            generate_workload("bursty", 10, 5)
+
+    def test_adversarial_needs_oracle(self):
+        with pytest.raises(GraphError):
+            generate_workload("adversarial", 10, 5)
+
+    def test_workloads_need_two_vertices(self):
+        with pytest.raises(GraphError):
+            uniform_pairs(1, 5)
+        assert uniform_pairs(1, 0) == []
+
+
+class TestRoundtripMany:
+    def test_matches_individual_roundtrips(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        pairs = uniform_pairs(scheme.graph.n, 40, random.Random(5))
+        sim = Simulator(scheme)
+        traces = sim.roundtrip_many(pairs)
+        assert len(traces) == len(pairs)
+        for (s, t), trace in zip(pairs, traces):
+            solo = sim.roundtrip(s, scheme.name_of(t))
+            assert trace.outbound.path == solo.outbound.path
+            assert trace.inbound.path == solo.inbound.path
+            assert trace.total_cost == solo.total_cost
+
+    def test_by_name_destinations(self, sp_scheme):
+        scheme, _oracle = sp_scheme
+        pairs = uniform_pairs(scheme.graph.n, 10, random.Random(6))
+        sim = Simulator(scheme)
+        named = [(s, scheme.name_of(t)) for (s, t) in pairs]
+        a = sim.roundtrip_many(pairs)
+        b = sim.roundtrip_many(named, by_name=True)
+        for x, y in zip(a, b):
+            assert x.outbound.path == y.outbound.path
+
+    def test_shortest_path_scheme_has_stretch_one(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        pairs = uniform_pairs(scheme.graph.n, 60, random.Random(7))
+        summary = run_workload(scheme, Workload("uniform", pairs), oracle)
+        assert summary.max_stretch == pytest.approx(1.0)
+        assert summary.mean_stretch == pytest.approx(1.0)
+
+
+class TestRunWorkload:
+    def test_summary_fields(self, small_random: Digraph):
+        oracle = DistanceOracle(small_random)
+        naming = random_naming(small_random.n, random.Random(8))
+        scheme = StretchSixScheme(
+            oracle_metric(oracle, naming), naming, rng=random.Random(9)
+        )
+        wl = generate_workload(
+            "mixed", small_random.n, 120, random.Random(10), oracle=oracle
+        )
+        summary = run_workload(scheme, wl, oracle=oracle)
+        assert summary.pairs == 120
+        assert summary.kind == "mixed"
+        assert summary.total_cost == pytest.approx(
+            summary.mean_cost * summary.pairs
+        )
+        assert 1.0 <= summary.mean_stretch <= summary.max_stretch
+        assert summary.max_stretch <= StretchSixScheme.STRETCH_BOUND + 1e-9
+        assert summary.max_hops >= summary.mean_hops > 0
+        assert summary.max_header_bits > 0
+        assert summary.pairs_per_s > 0
+        s, t = summary.worst_pair
+        assert 0 <= s < small_random.n and 0 <= t < small_random.n
+        assert "throughput" in summary.format()
+
+    def test_empty_workload(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        summary = run_workload(scheme, [], oracle)
+        assert summary.pairs == 0
+        assert summary.kind == "custom"
+
+    def test_rejects_self_pairs(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        with pytest.raises(GraphError):
+            run_workload(scheme, [(2, 2)], oracle)
+
+    def test_without_oracle_no_stretch(self, sp_scheme):
+        scheme, _oracle = sp_scheme
+        pairs = uniform_pairs(scheme.graph.n, 5, random.Random(11))
+        summary = run_workload(scheme, pairs)
+        assert summary.pairs == 5
+        assert summary.max_stretch != summary.max_stretch  # nan
+
+
+def oracle_metric(oracle, naming):
+    from repro.graph.roundtrip import RoundtripMetric
+
+    return RoundtripMetric(oracle, ids=naming.all_names())
+
+
+class TestTrafficCLI:
+    @pytest.mark.parametrize("workload", ["uniform", "adversarial", "mixed"])
+    def test_traffic_subcommand(self, workload, capsys):
+        rc = main([
+            "traffic", "--n", "20", "--pairs", "40",
+            "--workload", workload, "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pairs      : 40" in out
+        assert "throughput" in out
+        assert "within the claimed stretch bound" in out
+
+    def test_traffic_scheme_selection(self, capsys):
+        rc = main([
+            "traffic", "--n", "18", "--pairs", "25", "--scheme", "rtz",
+            "--family", "dht",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rtz" in out

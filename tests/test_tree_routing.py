@@ -48,7 +48,7 @@ class TestOutTreeRouter:
         # pick a vertex with a deep subtree: route from it to any
         # descendant must stay in its subtree
         for v in range(g.n):
-            addr = tree.address_of(v)
+            tree.address_of(v)
             # from the root, always routable
             assert tree.route(3, v)[-1] == v
 
