@@ -9,24 +9,22 @@ from __future__ import annotations
 
 import random
 
-from conftest import banner, cached_instance
+from conftest import banner, cached_network
 
 from repro.analysis.stretch import stretch_distribution
 from repro.runtime.sizing import log2_squared
 from repro.runtime.stats import measure_stretch, measure_tables
-from repro.schemes.exstretch import ExStretchScheme
 
 
 def test_exstretch_tradeoff(benchmark):
-    inst = cached_instance("random", 64, seed=0)
+    net = cached_network("random", 64, seed=0)
+    inst = net.instance()
     n = inst.graph.n
     rows = {}
 
     def run():
         for k in (2, 3):
-            scheme = ExStretchScheme(
-                inst.metric, inst.naming, k=k, rng=random.Random(k)
-            )
+            scheme = net.build_scheme("exstretch", k=k, rng=random.Random(k))
             rep = measure_stretch(
                 scheme, inst.oracle, sample=300, rng=random.Random(k + 10)
             )
@@ -51,9 +49,10 @@ def test_exstretch_tradeoff(benchmark):
 
 def test_exstretch_lemma8_ladder(benchmark):
     """Lemma 8: r(v_i, v_{i+1}) <= 2^i r(s, t) along the waypoints."""
-    inst = cached_instance("random", 64, seed=0)
+    net = cached_network("random", 64, seed=0)
+    inst = net.instance()
     n = inst.graph.n
-    scheme = ExStretchScheme(inst.metric, inst.naming, k=3, rng=random.Random(5))
+    scheme = net.build_scheme("exstretch", k=3, rng=random.Random(5))
     naming, metric = inst.naming, inst.metric
 
     def ladder_violations():
@@ -94,14 +93,12 @@ def test_exstretch_distribution_families(benchmark):
 
     def run():
         for fam in ("cycle", "torus", "dht"):
-            inst = cached_instance(fam, 36, seed=0)
-            scheme = ExStretchScheme(
-                inst.metric, inst.naming, k=2, rng=random.Random(1)
-            )
+            fam_net = cached_network(fam, 36, seed=0)
+            scheme = fam_net.build_scheme("exstretch", k=2, rng=random.Random(1))
             results[fam] = (
                 scheme,
                 stretch_distribution(
-                    scheme, inst.oracle, sample=200, rng=random.Random(2)
+                    scheme, fam_net.oracle(), sample=200, rng=random.Random(2)
                 ),
             )
         return results

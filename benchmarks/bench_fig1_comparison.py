@@ -22,7 +22,7 @@ from repro.analysis.experiments import (
 def _regenerate(n: int = 48, seed: int = 3):
     inst = cached_instance("random", n, seed=0)
     rows = fig1_comparison(
-        inst.graph, seed=seed, sample_pairs=250, k=2
+        inst.graph, seed=seed, sample_pairs=250, k=2, instance=inst
     )
     return rows
 

@@ -9,20 +9,20 @@ from __future__ import annotations
 
 import random
 
-from conftest import banner, cached_instance
+from conftest import banner, cached_network
 
 from repro.runtime.stats import measure_stretch, measure_tables
-from repro.schemes.polystretch import PolynomialStretchScheme
 
 
 def test_polystretch_tradeoff(benchmark):
-    inst = cached_instance("random", 48, seed=0)
+    net = cached_network("random", 48, seed=0)
+    inst = net.instance()
     n = inst.graph.n
     rows = {}
 
     def run():
         for k in (2, 3):
-            scheme = PolynomialStretchScheme(inst.metric, inst.naming, k=k)
+            scheme = net.build_scheme("polystretch", k=k)
             rep = measure_stretch(
                 scheme, inst.oracle, sample=250, rng=random.Random(k)
             )
@@ -45,9 +45,9 @@ def test_polystretch_tradeoff(benchmark):
 
 def test_polystretch_level_search(benchmark):
     """How deep does the level-doubling search go before succeeding?"""
-    inst = cached_instance("random", 48, seed=0)
-    n = inst.graph.n
-    scheme = PolynomialStretchScheme(inst.metric, inst.naming, k=2)
+    net = cached_network("random", 48, seed=0)
+    n = net.n
+    scheme = net.build_scheme("polystretch", k=2)
     h = scheme.hierarchy
 
     def run():
@@ -73,10 +73,10 @@ def test_polystretch_families(benchmark):
 
     def run():
         for fam in ("cycle", "torus"):
-            inst = cached_instance(fam, 36, seed=0)
-            scheme = PolynomialStretchScheme(inst.metric, inst.naming, k=2)
+            fam_net = cached_network(fam, 36, seed=0)
+            scheme = fam_net.build_scheme("polystretch", k=2)
             rep = measure_stretch(
-                scheme, inst.oracle, sample=150, rng=random.Random(3)
+                scheme, fam_net.oracle(), sample=150, rng=random.Random(3)
             )
             results[fam] = (scheme, rep)
         return results

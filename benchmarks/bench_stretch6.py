@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 import random
 
-from conftest import banner, cached_instance
+from conftest import banner, cached_network
 
 from repro.analysis.experiments import (
     Instance,
@@ -19,13 +19,13 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.stretch import stretch_distribution
 from repro.graph.generators import random_strongly_connected
-from repro.runtime.simulator import Simulator
 from repro.schemes.stretch6 import StretchSixScheme
 
 
 def test_stretch6_distribution(benchmark):
-    inst = cached_instance("random", 48, seed=0)
-    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(1))
+    net = cached_network("random", 48, seed=0)
+    inst = net.instance()
+    scheme = net.build_scheme("stretch6", rng=random.Random(1))
 
     dist = benchmark.pedantic(
         lambda: stretch_distribution(scheme, inst.oracle),
@@ -45,9 +45,9 @@ def test_stretch6_distribution(benchmark):
 
 def test_stretch6_neighborhood_case(benchmark):
     """Near destinations (t in N(s)) must see stretch <= 3."""
-    inst = cached_instance("random", 48, seed=0)
-    scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(2))
-    sim = Simulator(scheme)
+    net = cached_network("random", 48, seed=0)
+    inst = net.instance()
+    router = net.router(net.build_scheme("stretch6", rng=random.Random(2)))
 
     def run():
         worst = 0.0
@@ -55,8 +55,7 @@ def test_stretch6_neighborhood_case(benchmark):
             for t in inst.metric.sqrt_neighborhood(s):
                 if t == s:
                     continue
-                trace = sim.roundtrip(s, inst.naming.name_of(t))
-                worst = max(worst, trace.total_cost / inst.oracle.r(s, t))
+                worst = max(worst, router.route(s, t).stretch)
         return worst
 
     worst = benchmark.pedantic(run, rounds=1, iterations=1)

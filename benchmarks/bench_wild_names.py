@@ -10,33 +10,25 @@ from __future__ import annotations
 
 import random
 
-from conftest import banner, cached_instance
+from conftest import banner, cached_network
 
-from repro.naming.hashing import HashedNaming, random_wild_names
-from repro.runtime.simulator import Simulator
 from repro.runtime.stats import measure_tables
-from repro.schemes.stretch6 import StretchSixScheme
-from repro.schemes.wild_names import WildNameStretchSix
 
 UNIVERSE = 2 ** 48
 
 
 def test_wild_name_routing(benchmark):
-    inst = cached_instance("random", 48, seed=0)
-    n = inst.graph.n
-    rng = random.Random(41)
-    wild = random_wild_names(n, UNIVERSE, rng)
-    hashed = HashedNaming(wild, UNIVERSE, rng)
+    net = cached_network("random", 48, seed=0)
+    n = net.n
     results = {}
 
     def run():
-        wild_scheme = WildNameStretchSix(
-            inst.metric, hashed, rng=random.Random(42)
+        wild_scheme = net.build_scheme(
+            "wild_names", universe=UNIVERSE, rng=random.Random(42)
         )
-        perm_scheme = StretchSixScheme(
-            inst.metric, inst.naming, rng=random.Random(42)
-        )
-        sim = Simulator(wild_scheme)
+        perm_scheme = net.build_scheme("stretch6", rng=random.Random(42))
+        hashed = wild_scheme.hashed
+        router = net.router(wild_scheme)
         worst = 0.0
         total = 0.0
         pairs = 0
@@ -46,8 +38,7 @@ def test_wild_name_routing(benchmark):
             t = prng.randrange(n)
             if s == t:
                 continue
-            trace = sim.roundtrip(s, hashed.wild_of_vertex(t))
-            stretch = trace.total_cost / inst.oracle.r(s, t)
+            stretch = router.route(s, hashed.wild_of_vertex(t), by_name=True).stretch
             worst = max(worst, stretch)
             total += stretch
             pairs += 1

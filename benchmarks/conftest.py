@@ -4,8 +4,11 @@ Each benchmark module regenerates one experiment from DESIGN.md's
 index (E1-E13): it prints the paper-style rows, asserts the paper's
 inequalities, and times the dominant kernel with pytest-benchmark.
 
-Graphs and schemes are cached per session: the experiments intentionally
-share instances so the printed tables are mutually comparable.
+Graphs and schemes are cached per session through the
+:class:`repro.api.Network` facade: the experiments intentionally share
+instances (and the facade's artifact cache — metric, RTZ substrate,
+cover hierarchies) so the printed tables are mutually comparable and
+the suite never recomputes a substrate two benchmarks both need.
 
 Smoke mode: setting ``REPRO_BENCH_SMOKE=1`` (the CI bench job does)
 clamps instance sizes via :func:`bench_n` so every benchmark module
@@ -22,6 +25,7 @@ from typing import Dict, Tuple
 import pytest
 
 from repro.analysis.experiments import Instance
+from repro.api import Network
 from repro.graph.generators import (
     bidirected_torus,
     directed_cycle,
@@ -42,14 +46,18 @@ def bench_n(n: int) -> int:
     return min(n, SMOKE_N) if SMOKE else n
 
 
-_INSTANCE_CACHE: Dict[Tuple[str, int, int], Instance] = {}
+_NETWORK_CACHE: Dict[Tuple[str, int, int], Network] = {}
 
 
-def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:
-    """Session-cached experiment instance of one family/size/seed."""
+def cached_network(kind: str, n: int, seed: int = 0) -> Network:
+    """Session-cached :class:`Network` of one family/size/seed.
+
+    All benchmarks sharing a key share one facade, hence one oracle,
+    naming, metric, and substrate set.
+    """
     n = bench_n(n)
     key = (kind, n, seed)
-    if key not in _INSTANCE_CACHE:
+    if key not in _NETWORK_CACHE:
         rng = random.Random(seed + n)
         if kind == "random":
             g = random_strongly_connected(n, rng=rng)
@@ -62,8 +70,20 @@ def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:
             g = random_dht_overlay(n, rng=rng)
         else:
             raise ValueError(f"unknown family {kind}")
-        _INSTANCE_CACHE[key] = Instance.prepare(g, seed=seed + n + 1)
-    return _INSTANCE_CACHE[key]
+        _NETWORK_CACHE[key] = Network(g, seed=seed + n + 1)
+    return _NETWORK_CACHE[key]
+
+
+def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:
+    """Session-cached experiment instance (the legacy view of
+    :func:`cached_network`'s shared artifacts)."""
+    return cached_network(kind, n, seed).instance()
+
+
+@pytest.fixture(scope="session")
+def bench_network() -> Network:
+    """The default medium network shared by most benchmarks."""
+    return cached_network("random", 64, seed=0)
 
 
 @pytest.fixture(scope="session")

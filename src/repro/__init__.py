@@ -29,6 +29,14 @@ from repro.analysis.experiments import (
     fig1_comparison,
     format_rows,
 )
+from repro.api import (
+    Network,
+    Router,
+    all_specs,
+    get_spec,
+    register_scheme,
+    scheme_names,
+)
 from repro.analysis.stretch import stretch_distribution
 from repro.analysis.tables import breakdown
 from repro.covers.hierarchy import TreeHierarchy
@@ -64,6 +72,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified API
+    "Network",
+    "Router",
+    "register_scheme",
+    "get_spec",
+    "scheme_names",
+    "all_specs",
     # graph substrate
     "Digraph",
     "from_edge_list",

@@ -112,6 +112,7 @@ def fig1_comparison(
     sample_pairs: Optional[int] = 400,
     k: int = 2,
     factories: Optional[Dict[str, SchemeFactory]] = None,
+    instance: Optional[Instance] = None,
 ) -> List[SchemeRow]:
     """Regenerate Fig. 1 with measured columns on one graph.
 
@@ -122,11 +123,14 @@ def fig1_comparison(
             all pairs).
         k: tradeoff parameter for the generalized schemes.
         factories: override the scheme set.
+        instance: a pre-built instance of the same graph (e.g. from
+            :meth:`repro.api.Network.instance`), reusing its cached
+            oracle/naming/metric instead of re-preparing them.
 
     Returns:
         One :class:`SchemeRow` per scheme, in Fig. 1 order.
     """
-    inst = Instance.prepare(graph, seed)
+    inst = instance if instance is not None else Instance.prepare(graph, seed)
     rows: List[SchemeRow] = []
     tinn = {"stretch-6 (TINN)", "exstretch (TINN)", "polystretch (TINN)"}
     for label, factory in (factories or default_factories(k)).items():

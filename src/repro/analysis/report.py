@@ -9,7 +9,7 @@ CLI (``python -m repro.cli report``) or from notebooks.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.experiments import (
     Instance,
@@ -22,7 +22,7 @@ from repro.covers.sparse_cover import DoubleTreeCover
 from repro.dictionary.distribution import BlockDistribution
 from repro.graph.digraph import Digraph
 from repro.naming.blocks import BlockSpace
-from repro.rtz.routing import RTZStretch3
+from repro.rtz.routing import shared_substrate
 from repro.runtime.sizing import log2_squared
 from repro.schemes.stretch6 import StretchSixScheme
 
@@ -32,6 +32,7 @@ def generate_report(
     seed: int = 0,
     sample_pairs: int = 200,
     k: int = 2,
+    instance: Optional[Instance] = None,
 ) -> str:
     """Run the headline experiments and render a markdown report.
 
@@ -40,6 +41,9 @@ def generate_report(
         seed: controls naming/scheme randomness.
         sample_pairs: pairs sampled per stretch measurement.
         k: tradeoff parameter for the generalized schemes.
+        instance: a pre-built instance of the same graph (e.g. from
+            :meth:`repro.api.Network.instance`) to reuse its cached
+            oracle/naming/metric.
 
     Returns:
         Markdown text; every claimed inequality is asserted before the
@@ -56,7 +60,9 @@ def generate_report(
     lines.append("")
 
     # Fig. 1
-    rows = fig1_comparison(graph, seed=seed, sample_pairs=sample_pairs, k=k)
+    rows = fig1_comparison(
+        graph, seed=seed, sample_pairs=sample_pairs, k=k, instance=instance
+    )
     assert_rows_sound(rows)
     lines.append("## Fig. 1 — claimed vs measured")
     lines.append("")
@@ -65,7 +71,7 @@ def generate_report(
     lines.append("```")
     lines.append("")
 
-    inst = Instance.prepare(graph, seed=seed)
+    inst = instance if instance is not None else Instance.prepare(graph, seed=seed)
 
     # Lemma 3 distribution
     scheme = StretchSixScheme(inst.metric, inst.naming, rng=random.Random(seed))
@@ -109,7 +115,7 @@ def generate_report(
     lines.append("")
 
     # Lemma 2 substrate
-    rtz = RTZStretch3(inst.metric, random.Random(seed + 2))
+    rtz = shared_substrate(inst.metric, random.Random(seed + 2))
     max_tab = max(rtz.table_entries(u) for u in range(n))
     lines.append("## Lemma 2 — substrate tables")
     lines.append("")

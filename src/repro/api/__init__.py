@@ -1,0 +1,43 @@
+"""Unified Python API: scheme registry, network facade, router.
+
+The three layers:
+
+* :mod:`repro.api.registry` — every scheme in :mod:`repro.schemes`
+  registers a :class:`SchemeSpec` (name, builder, parameter schema,
+  stretch bound) with :func:`register_scheme`;
+* :mod:`repro.api.network` — :class:`Network` owns one frozen graph
+  and lazily builds-and-caches the shared preprocessing artifacts
+  (oracle, naming, metric, RTZ substrate, cover hierarchies, wild-name
+  reduction), so building several schemes on one graph computes each
+  artifact exactly once;
+* :mod:`repro.api.router` — :class:`Router` serves single and batched
+  roundtrip queries against a built scheme, with per-session
+  accounting.
+"""
+
+from repro.api.network import ENGINES, Network
+from repro.api.registry import (
+    ParamSpec,
+    SchemeSpec,
+    UnknownSchemeError,
+    all_specs,
+    get_spec,
+    register_scheme,
+    scheme_names,
+)
+from repro.api.router import RouteResult, Router, RouterAccounting
+
+__all__ = [
+    "ENGINES",
+    "Network",
+    "Router",
+    "RouteResult",
+    "RouterAccounting",
+    "SchemeSpec",
+    "ParamSpec",
+    "UnknownSchemeError",
+    "register_scheme",
+    "get_spec",
+    "scheme_names",
+    "all_specs",
+]

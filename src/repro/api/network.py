@@ -1,0 +1,322 @@
+"""The :class:`Network` facade: one graph, shared preprocessing.
+
+Every scheme in the paper is defined over the same per-graph
+substrate — the all-pairs :class:`DistanceOracle`, an adversarial
+:class:`Naming`, the :class:`RoundtripMetric` keyed by that naming,
+the Lemma 2 :class:`RTZStretch3` substrate, the Theorem 13 cover
+hierarchies, and the wild-name hash reduction.  Building several
+schemes on one graph used to recompute those artifacts per scheme (or
+share them through hand-threaded kwargs); :class:`Network` owns the
+frozen graph and builds each artifact lazily, exactly once, keyed by
+``(graph, seed, params)``.
+
+Quickstart::
+
+    from repro.api import Network
+
+    net = Network.from_family("random", n=64, seed=0)
+    s6 = net.build_scheme("stretch6")      # builds metric + substrate
+    rtz = net.build_scheme("rtz")          # reuses both (cache hit)
+    router = net.router("stretch6")
+    results = router.route_many([(0, 9), (3, 14)])
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, Optional, TYPE_CHECKING, Union
+
+from repro.api.registry import get_spec, scheme_names  # noqa: F401
+from repro.exceptions import GraphError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import standard_families
+from repro.graph.roundtrip import RoundtripMetric
+from repro.graph.shortest_paths import DistanceOracle
+from repro.naming.hashing import HashedNaming, random_wild_names
+from repro.naming.permutation import Naming, random_naming
+from repro.rtz.routing import RTZStretch3, shared_substrate
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guards
+    from repro.analysis.experiments import Instance
+    from repro.api.router import Router
+    from repro.covers.hierarchy import TreeHierarchy
+    from repro.covers.sparse_cover import DoubleTreeCover
+    from repro.runtime.scheme import RoutingScheme
+    from repro.rtz.spanner import HandshakeSpanner
+
+#: engines understood by :class:`DistanceOracle`
+ENGINES = ("auto", "vectorized", "python")
+
+#: default wild-name universe (48-bit identifiers, as in E18)
+DEFAULT_UNIVERSE = 2 ** 48
+
+
+class Network:
+    """Facade over one frozen digraph and its shared artifacts.
+
+    Args:
+        graph: a *frozen* strongly connected digraph (every generator
+            in :mod:`repro.graph.generators` returns one).
+        seed: master seed; every artifact and scheme derives its own
+            deterministic rng stream from it.
+        engine: :class:`DistanceOracle` engine (``"auto"`` /
+            ``"vectorized"`` / ``"python"``).
+
+    Raises:
+        GraphError: for an unfrozen graph or unknown engine.
+    """
+
+    def __init__(self, graph: Digraph, seed: int = 0, engine: str = "auto"):
+        if not graph.frozen:
+            raise GraphError(
+                "Network requires a frozen graph; call graph.freeze() first"
+            )
+        if engine not in ENGINES:
+            raise GraphError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        self._graph = graph
+        self._seed = seed
+        self._engine = engine
+        self._cache: Dict[str, Any] = {}
+        self._stats: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_family(
+        cls,
+        family: str,
+        n: int,
+        seed: int = 0,
+        engine: str = "auto",
+    ) -> "Network":
+        """Build a network over one of the standard graph families.
+
+        Args:
+            family: family name (``random`` / ``cycle`` / ``torus`` /
+                ``asym-torus`` / ``dht`` / ``layered`` / ``scale-free``).
+            n: approximate graph size (grid families round).
+            seed: master seed (also seeds the generator).
+            engine: distance-oracle engine.
+
+        Raises:
+            GraphError: for an unknown family (choices listed).
+        """
+        families = standard_families(n, seed=seed)
+        if family not in families:
+            raise GraphError(
+                f"unknown family {family!r}; choose from {sorted(families)}"
+            )
+        return cls(families[family], seed=seed, engine=engine)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Digraph:
+        """The frozen digraph this network serves."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Vertex count."""
+        return self._graph.n
+
+    @property
+    def seed(self) -> int:
+        """The master seed."""
+        return self._seed
+
+    @property
+    def engine(self) -> str:
+        """The distance-oracle engine requested at construction."""
+        return self._engine
+
+    def derive_rng(self, tag: str, params: Optional[Dict[str, Any]] = None) -> random.Random:
+        """A deterministic rng stream for one artifact or scheme.
+
+        Streams are independent across tags/params and reproducible
+        across processes (string seeding hashes with SHA-512).
+        """
+        suffix = "" if not params else repr(sorted(params.items()))
+        return random.Random(f"{self._seed}|{tag}|{suffix}")
+
+    # ------------------------------------------------------------------
+    # artifact cache
+    # ------------------------------------------------------------------
+    def _artifact(self, label: str, build) -> Any:
+        """Serve ``label`` from the cache, building (and timing) once."""
+        stats = self._stats.setdefault(
+            label, {"builds": 0, "hits": 0, "seconds": 0.0}
+        )
+        if label in self._cache:
+            stats["hits"] += 1
+            return self._cache[label]
+        t0 = time.perf_counter()
+        value = build()
+        stats["seconds"] += time.perf_counter() - t0
+        stats["builds"] += 1
+        self._cache[label] = value
+        return value
+
+    def cache_info(self) -> Dict[str, Dict[str, float]]:
+        """Per-artifact cache statistics: ``builds``, ``hits``, and
+        construction ``seconds`` keyed by artifact label."""
+        return {label: dict(s) for label, s in self._stats.items()}
+
+    # ------------------------------------------------------------------
+    # shared artifacts
+    # ------------------------------------------------------------------
+    def oracle(self) -> DistanceOracle:
+        """The all-pairs distance oracle (built with this network's
+        engine)."""
+        return self._artifact(
+            "oracle", lambda: DistanceOracle(self._graph, engine=self._engine)
+        )
+
+    def naming(self) -> Naming:
+        """The adversarial random naming derived from the master seed."""
+        return self._artifact(
+            "naming",
+            lambda: random_naming(self.n, random.Random(self._seed)),
+        )
+
+    def metric(self) -> RoundtripMetric:
+        """The roundtrip metric, tie-broken by the naming's names."""
+        return self._artifact(
+            "metric",
+            lambda: RoundtripMetric(self.oracle(), ids=self.naming().all_names()),
+        )
+
+    def rtz(self, center_count: Optional[int] = None) -> RTZStretch3:
+        """The shared Lemma 2 stretch-3 substrate.
+
+        All substrate-based schemes built through this network reuse
+        one instance (also deduplicated process-wide by landmark set
+        via :func:`repro.rtz.routing.shared_substrate`).
+        """
+        label = "rtz" if center_count is None else f"rtz[centers={center_count}]"
+        return self._artifact(
+            label,
+            lambda: shared_substrate(
+                self.metric(),
+                self.derive_rng("rtz", {"centers": center_count}),
+                center_count=center_count,
+            ),
+        )
+
+    def hierarchy(self, k: int) -> "TreeHierarchy":
+        """The Theorem 13 double-tree cover hierarchy for parameter
+        ``k`` (shared by ExStretch's spanner and PolynomialStretch)."""
+        from repro.covers.hierarchy import TreeHierarchy
+
+        return self._artifact(
+            f"hierarchy[k={k}]", lambda: TreeHierarchy(self.metric(), k)
+        )
+
+    def spanner(self, k: int) -> "HandshakeSpanner":
+        """The Lemma 5 handshake spanner for parameter ``k``."""
+        from repro.rtz.spanner import HandshakeSpanner
+
+        return self._artifact(
+            f"spanner[k={k}]",
+            lambda: HandshakeSpanner(self.metric(), k, hierarchy=self.hierarchy(k)),
+        )
+
+    def cover(self, k: int, scale: float) -> "DoubleTreeCover":
+        """One Theorem 13 cover at an explicit scale."""
+        from repro.covers.sparse_cover import DoubleTreeCover
+
+        return self._artifact(
+            f"cover[k={k},scale={scale}]",
+            lambda: DoubleTreeCover(self.metric(), k, float(scale)),
+        )
+
+    def hashed_naming(self, universe: int = DEFAULT_UNIVERSE) -> HashedNaming:
+        """The §1.1.2 wild-name reduction: adversarial wild names drawn
+        from ``universe``, hashed after the fact."""
+
+        def build() -> HashedNaming:
+            rng = self.derive_rng("wild", {"universe": universe})
+            wild = random_wild_names(self.n, universe, rng)
+            return HashedNaming(wild, universe, rng)
+
+        return self._artifact(f"hashed[universe={universe}]", build)
+
+    def instance(self) -> "Instance":
+        """The legacy :class:`~repro.analysis.experiments.Instance`
+        view (graph + oracle + naming + metric), served from the
+        artifact cache — the bridge for analysis code that predates the
+        facade."""
+        from repro.analysis.experiments import Instance
+
+        return self._artifact(
+            "instance",
+            lambda: Instance(
+                self._graph, self.oracle(), self.naming(), self.metric()
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # schemes
+    # ------------------------------------------------------------------
+    def build_scheme(
+        self,
+        name: str,
+        rng: Optional[random.Random] = None,
+        **params: Any,
+    ) -> "RoutingScheme":
+        """Build a registered scheme against this network.
+
+        Args:
+            name: registry name (see
+                :func:`repro.api.registry.scheme_names`).
+            rng: explicit randomness for the scheme's own draws
+                (landmark/block sampling); default is a stream derived
+                from the master seed.  Deterministic (``rng=None``)
+                builds are cached per ``(name, params)``.
+            **params: scheme parameters, validated against the spec.
+
+        Raises:
+            UnknownSchemeError: for names not in the registry.
+            ConstructionError: for invalid parameters.
+        """
+        spec = get_spec(name)
+        resolved = spec.validate_params(params)
+        if rng is not None:
+            return spec.build(self, rng, **resolved)
+        label = f"scheme:{spec.name}"
+        shown = {k: v for k, v in resolved.items() if v is not None}
+        if shown:
+            label += "[" + ",".join(f"{k}={v}" for k, v in sorted(shown.items())) + "]"
+        return self._artifact(label, lambda: spec.build(self, None, **resolved))
+
+    def stretch_bound(self, name: str, **params: Any) -> float:
+        """The claimed stretch bound of a registered scheme on this
+        network (builds — or serves from cache — the scheme, since
+        generalized bounds depend on parameters like ``k``)."""
+        spec = get_spec(name)
+        return spec.stretch_bound(self.build_scheme(name, **params))
+
+    def router(
+        self,
+        scheme: Union[str, "RoutingScheme"],
+        hop_limit: Optional[int] = None,
+        **params: Any,
+    ) -> "Router":
+        """A routing session over one scheme of this network.
+
+        Args:
+            scheme: a registry name (built/cached via
+                :meth:`build_scheme`) or an already-built scheme.
+            hop_limit: per-leg hop budget override.
+            **params: forwarded to :meth:`build_scheme` for names.
+        """
+        from repro.api.router import Router
+
+        if isinstance(scheme, str):
+            scheme = self.build_scheme(scheme, **params)
+        return Router(scheme, oracle=self.oracle(), hop_limit=hop_limit)

@@ -1,0 +1,208 @@
+"""The :class:`Router` session: query serving over one built scheme.
+
+A router wraps a :class:`~repro.runtime.simulator.Simulator` around a
+constructed scheme and serves roundtrip queries — single
+(:meth:`Router.route`) or batched (:meth:`Router.route_many`) — while
+keeping session accounting: queries served, hop/cost totals, the
+largest header observed, and the scheme's table footprint.
+
+Obtained from a network::
+
+    router = net.router("stretch6")
+    r = router.route(0, 9)              # RouteResult with stretch
+    batch = router.route_many(pairs)    # list of RouteResults
+    print(router.accounting().format())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.graph.shortest_paths import DistanceOracle
+from repro.runtime.scheme import RoutingScheme
+from repro.runtime.simulator import RoundtripTrace, Simulator
+from repro.runtime.stats import TableReport, measure_tables
+from repro.runtime.traffic import TrafficSummary, Workload, run_workload
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """One served roundtrip query.
+
+    Attributes:
+        source: source vertex.
+        dest: destination vertex.
+        dest_name: the name the packet carried.
+        cost: total roundtrip path cost.
+        hops: total roundtrip hop count.
+        max_header_bits: largest header observed on the journey.
+        stretch: ``cost / r(source, dest)`` (``nan`` without an oracle).
+        trace: the full hop-by-hop trace.
+    """
+
+    source: int
+    dest: int
+    dest_name: int
+    cost: float
+    hops: int
+    max_header_bits: int
+    stretch: float
+    trace: RoundtripTrace
+
+
+@dataclass
+class RouterAccounting:
+    """Per-session accounting of one router.
+
+    Attributes:
+        scheme: scheme display name.
+        queries: roundtrip queries served by this session.
+        total_cost: summed roundtrip cost across queries.
+        total_hops: summed roundtrip hops across queries.
+        max_header_bits: largest header seen in any served query.
+        tables: the scheme's table footprint (entries/bits).
+    """
+
+    scheme: str
+    queries: int
+    total_cost: float
+    total_hops: int
+    max_header_bits: int
+    tables: TableReport
+
+    def format(self) -> str:
+        """Human-readable accounting block."""
+        lines = [
+            f"scheme          : {self.scheme}",
+            f"queries served  : {self.queries}",
+            f"total cost      : {self.total_cost:.1f}",
+            f"total hops      : {self.total_hops}",
+            f"max header bits : {self.max_header_bits}",
+            f"tables          : max {self.tables.max_entries} rows/node, "
+            f"mean {self.tables.mean_entries:.1f} "
+            f"({self.tables.max_bits} bits worst)",
+        ]
+        return "\n".join(lines)
+
+
+class Router:
+    """Serves roundtrip queries against one constructed scheme.
+
+    Args:
+        scheme: the scheme under load.
+        oracle: ground-truth distances of the same graph; enables the
+            ``stretch`` column of results (optional).
+        hop_limit: per-leg hop budget override for the simulator.
+    """
+
+    def __init__(
+        self,
+        scheme: RoutingScheme,
+        oracle: Optional[DistanceOracle] = None,
+        hop_limit: Optional[int] = None,
+    ):
+        self._scheme = scheme
+        self._oracle = oracle
+        self._sim = Simulator(scheme, hop_limit=hop_limit)
+        self._queries = 0
+        self._total_cost = 0.0
+        self._total_hops = 0
+        self._max_header_bits = 0
+        self._tables: Optional[TableReport] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def scheme(self) -> RoutingScheme:
+        """The scheme this session serves."""
+        return self._scheme
+
+    @property
+    def oracle(self) -> Optional[DistanceOracle]:
+        """The attached ground-truth oracle, if any."""
+        return self._oracle
+
+    def _result(self, s: int, t: int, name: int, trace: RoundtripTrace) -> RouteResult:
+        cost = trace.total_cost
+        hops = trace.total_hops
+        bits = trace.max_header_bits
+        self._queries += 1
+        self._total_cost += cost
+        self._total_hops += hops
+        self._max_header_bits = max(self._max_header_bits, bits)
+        stretch = (
+            cost / self._oracle.r(s, t) if self._oracle is not None else math.nan
+        )
+        return RouteResult(
+            source=s,
+            dest=t,
+            dest_name=name,
+            cost=cost,
+            hops=hops,
+            max_header_bits=bits,
+            stretch=stretch,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def route(self, source: int, dest: int, by_name: bool = False) -> RouteResult:
+        """Serve one roundtrip query ``source -> dest -> source``.
+
+        Args:
+            source: source vertex id.
+            dest: destination vertex id, or destination *name* when
+                ``by_name`` is set.
+            by_name: treat ``dest`` as a name the packet carries.
+        """
+        name = dest if by_name else self._scheme.name_of(dest)
+        vertex = self._scheme.vertex_of(name)
+        trace = self._sim.roundtrip(source, name)
+        return self._result(source, vertex, name, trace)
+
+    def route_many(
+        self,
+        pairs: Iterable[Tuple[int, int]],
+        by_name: bool = False,
+    ) -> List[RouteResult]:
+        """Serve a batch of roundtrip queries, in input order."""
+        return [self.route(s, t, by_name=by_name) for (s, t) in pairs]
+
+    def serve_workload(
+        self,
+        workload: Union[Workload, Sequence[Tuple[int, int]]],
+    ) -> TrafficSummary:
+        """Route a traffic workload and return the aggregate summary
+        (delegates to :func:`repro.runtime.traffic.run_workload`; the
+        session counters absorb the batch)."""
+        summary = run_workload(self._scheme, workload, oracle=self._oracle)
+        self._queries += summary.pairs
+        self._total_cost += summary.total_cost
+        self._total_hops += summary.total_hops
+        self._max_header_bits = max(
+            self._max_header_bits, summary.max_header_bits
+        )
+        return summary
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def table_report(self) -> TableReport:
+        """The scheme's per-node table footprint (computed once)."""
+        if self._tables is None:
+            self._tables = measure_tables(self._scheme)
+        return self._tables
+
+    def accounting(self) -> RouterAccounting:
+        """Session accounting: queries, hop/cost totals, headers, and
+        the scheme's table footprint."""
+        return RouterAccounting(
+            scheme=self._scheme.name,
+            queries=self._queries,
+            total_cost=self._total_cost,
+            total_hops=self._total_hops,
+            max_header_bits=self._max_header_bits,
+            tables=self.table_report(),
+        )

@@ -7,10 +7,14 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli tables --scheme exstretch --n 36 --k 2
     python -m repro.cli covers --n 36 --k 2 --scale 8
     python -m repro.cli distributed --n 24
-    python -m repro.cli traffic --n 64 --scheme stretch6 --workload mixed
+    python -m repro.cli traffic --n 64 --scheme stretch6,rtz --workload mixed
+    python -m repro.cli schemes
 
-Each subcommand prints the same paper-style rows the benchmark suite
-records in EXPERIMENTS.md, on a graph of the requested size/family.
+Every subcommand resolves schemes through the :mod:`repro.api`
+registry and builds them on a shared :class:`~repro.api.Network`, so
+multi-scheme invocations (``traffic --scheme stretch6,rtz``) compute
+the expensive per-graph artifacts (metric, RTZ substrate, covers)
+exactly once.
 """
 
 from __future__ import annotations
@@ -18,58 +22,59 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import Optional, Sequence
+import time
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.experiments import (
-    Instance,
     assert_rows_sound,
     fig1_comparison,
     format_rows,
 )
 from repro.analysis.stretch import stretch_distribution
 from repro.analysis.tables import breakdown
-from repro.covers.sparse_cover import DoubleTreeCover
+from repro.api import Network, UnknownSchemeError, all_specs, get_spec
+from repro.api.network import ENGINES
 from repro.distributed.preprocessing import DistributedPreprocessing
-from repro.graph.digraph import Digraph
-from repro.graph.generators import standard_families
-from repro.graph.shortest_paths import DistanceOracle
-from repro.naming.permutation import random_naming
-from repro.runtime.traffic import WORKLOAD_KINDS, generate_workload, run_workload
-from repro.schemes.exstretch import ExStretchScheme
-from repro.schemes.polystretch import PolynomialStretchScheme
-from repro.schemes.rtz_baseline import RTZBaselineScheme
-from repro.schemes.stretch6 import StretchSixScheme
+from repro.exceptions import GraphError
+from repro.runtime.scheme import RoutingScheme
+from repro.runtime.traffic import WORKLOAD_KINDS, generate_workload
 
 
-def _graph(family: str, n: int, seed: int) -> Digraph:
-    families = standard_families(n, seed=seed)
-    if family not in families:
-        raise SystemExit(
-            f"unknown family {family!r}; choose from {sorted(families)}"
+def _network(args: argparse.Namespace) -> Network:
+    """The shared facade for one CLI invocation."""
+    try:
+        return Network.from_family(
+            args.family,
+            args.n,
+            seed=args.seed,
+            engine=getattr(args, "engine", "auto"),
         )
-    return families[family]
+    except GraphError as exc:
+        raise SystemExit(str(exc))
 
 
-def _scheme(label: str, inst: Instance, k: int, seed: int):
-    rng = random.Random(seed)
-    if label == "stretch6":
-        s = StretchSixScheme(inst.metric, inst.naming, rng=rng)
-        return s, s.STRETCH_BOUND
-    if label == "exstretch":
-        s = ExStretchScheme(inst.metric, inst.naming, k=k, rng=rng)
-        return s, s.stretch_bound()
-    if label == "polystretch":
-        s = PolynomialStretchScheme(inst.metric, inst.naming, k=k)
-        return s, s.stretch_bound()
-    if label == "rtz":
-        return RTZBaselineScheme(inst.metric, inst.naming, rng=rng), 3.0
-    raise SystemExit(f"unknown scheme {label!r}")
+def _build_scheme(
+    net: Network, label: str, args: argparse.Namespace
+) -> Tuple[RoutingScheme, float]:
+    """Build one registered scheme (passing ``--k`` where accepted) and
+    return it with its claimed stretch bound."""
+    try:
+        spec = get_spec(label)
+    except UnknownSchemeError as exc:
+        raise SystemExit(str(exc))
+    params = {"k": args.k} if spec.accepts("k") else {}
+    scheme = net.build_scheme(spec.name, **params)
+    return scheme, spec.stretch_bound(scheme)
 
 
 def cmd_fig1(args: argparse.Namespace) -> int:
-    g = _graph(args.family, args.n, args.seed)
+    net = _network(args)
     rows = fig1_comparison(
-        g, seed=args.seed + 1, sample_pairs=args.pairs, k=args.k
+        net.graph,
+        seed=args.seed + 1,
+        sample_pairs=args.pairs,
+        k=args.k,
+        instance=net.instance(),
     )
     print(format_rows(rows))
     assert_rows_sound(rows)
@@ -78,11 +83,10 @@ def cmd_fig1(args: argparse.Namespace) -> int:
 
 
 def cmd_stretch(args: argparse.Namespace) -> int:
-    g = _graph(args.family, args.n, args.seed)
-    inst = Instance.prepare(g, seed=args.seed + 1)
-    scheme, bound = _scheme(args.scheme, inst, args.k, args.seed + 2)
+    net = _network(args)
+    scheme, bound = _build_scheme(net, args.scheme, args)
     dist = stretch_distribution(
-        scheme, inst.oracle, sample=args.pairs, rng=random.Random(args.seed)
+        scheme, net.oracle(), sample=args.pairs, rng=random.Random(args.seed)
     )
     print(f"scheme   : {scheme.name}")
     print(f"pairs    : {len(dist.samples)}")
@@ -93,22 +97,20 @@ def cmd_stretch(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
-    g = _graph(args.family, args.n, args.seed)
-    inst = Instance.prepare(g, seed=args.seed + 1)
-    scheme, _bound = _scheme(args.scheme, inst, args.k, args.seed + 2)
-    print(f"scheme: {scheme.name} on {args.family} (n={g.n})\n")
-    print(breakdown(scheme).format(g.n))
+    net = _network(args)
+    scheme, _bound = _build_scheme(net, args.scheme, args)
+    print(f"scheme: {scheme.name} on {args.family} (n={net.n})\n")
+    print(breakdown(scheme).format(net.n))
     return 0
 
 
 def cmd_covers(args: argparse.Namespace) -> int:
-    g = _graph(args.family, args.n, args.seed)
-    inst = Instance.prepare(g, seed=args.seed + 1)
-    dtc = DoubleTreeCover(inst.metric, args.k, float(args.scale))
+    net = _network(args)
+    dtc = net.cover(args.k, float(args.scale))
     dtc.verify()
     worst = max(t.rt_height() for t in dtc.trees)
     print(f"cover at scale {args.scale}, k={args.k} on {args.family} "
-          f"(n={g.n})")
+          f"(n={net.n})")
     print(f"trees        : {len(dtc.trees)}")
     print(f"max height   : {worst:.1f}  (bound {dtc.height_bound():.1f})")
     print(f"max load     : {dtc.max_vertex_load()}  "
@@ -118,10 +120,9 @@ def cmd_covers(args: argparse.Namespace) -> int:
 
 
 def cmd_distributed(args: argparse.Namespace) -> int:
-    g = _graph(args.family, args.n, args.seed)
-    naming = random_naming(g.n, random.Random(args.seed + 1))
-    prep = DistributedPreprocessing(g, naming, seed=args.seed + 2)
-    prep.verify_against_oracle(DistanceOracle(g))
+    net = _network(args)
+    prep = DistributedPreprocessing(net.graph, net.naming(), seed=args.seed + 2)
+    prep.verify_against_oracle(net.oracle())
     print(f"{'phase':<18} {'rounds':>7} {'messages':>10}")
     for label, cost in prep.costs.items():
         print(f"{label:<18} {cost.rounds:>7} {cost.messages:>10}")
@@ -132,45 +133,79 @@ def cmd_distributed(args: argparse.Namespace) -> int:
 
 
 def cmd_traffic(args: argparse.Namespace) -> int:
-    g = _graph(args.family, args.n, args.seed)
-    inst = Instance.prepare(g, seed=args.seed + 1)
-    scheme, bound = _scheme(args.scheme, inst, args.k, args.seed + 2)
+    net = _network(args)
+    labels = [s.strip() for s in args.scheme.split(",") if s.strip()]
+    if not labels:
+        raise SystemExit("no scheme given")
     workload = generate_workload(
         args.workload,
-        g.n,
+        net.n,
         args.pairs,
         rng=random.Random(args.seed + 3),
-        oracle=inst.oracle,
+        oracle=net.oracle(),
     )
-    summary = run_workload(scheme, workload, oracle=inst.oracle)
-    print(f"scheme     : {scheme.name} on {args.family} (n={g.n})")
-    print(summary.format())
-    if summary.pairs == 0:
-        print("\nempty workload; nothing to route")
-        return 0
-    if summary.max_stretch <= bound + 1e-9:
-        print(f"\nwithin the claimed stretch bound {bound:.1f}")
-        return 0
-    print(f"\nEXCEEDED the claimed stretch bound {bound:.1f}")
-    return 1
+    failures = 0
+    for i, label in enumerate(labels):
+        t0 = time.perf_counter()
+        scheme, bound = _build_scheme(net, label, args)
+        build_s = time.perf_counter() - t0
+        router = net.router(scheme)
+        summary = router.serve_workload(workload)
+        if i:
+            print()
+        print(f"scheme     : {scheme.name} on {args.family} (n={net.n})")
+        print(f"build time : {build_s * 1000:.1f} ms"
+              + ("  (shared artifacts reused)" if i else ""))
+        print(summary.format())
+        if summary.pairs == 0:
+            print("\nempty workload; nothing to route")
+        elif summary.max_stretch <= bound + 1e-9:
+            print(f"within the claimed stretch bound {bound:.1f}")
+        else:
+            print(f"EXCEEDED the claimed stretch bound {bound:.1f}")
+            failures += 1
+    if len(labels) > 1 or args.verbose_cache:
+        print("\nshared artifact cache:")
+        for artifact, s in sorted(net.cache_info().items()):
+            print(f"  {artifact:<24} builds={int(s['builds'])} "
+                  f"hits={int(s['hits'])} ({s['seconds'] * 1000:.1f} ms)")
+    return 1 if failures else 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    header = f"{'name':<22} {'TINN':<5} {'stretch bound':<18} {'params':<28} summary"
+    print(header)
+    print("-" * len(header))
+    for spec in all_specs():
+        params = ", ".join(
+            f"{p.name}={p.default}" if p.default is not None else p.name
+            for p in spec.params
+        ) or "-"
+        print(f"{spec.name:<22} {str(spec.name_independent):<5} "
+              f"{spec.bound_text:<18} {params:<28} {spec.summary}")
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
-    g = _graph(args.family, args.n, args.seed)
-    print(generate_report(g, seed=args.seed + 1, sample_pairs=args.pairs,
-                          k=args.k))
+    net = _network(args)
+    print(generate_report(net.graph, seed=args.seed + 1,
+                          sample_pairs=args.pairs, k=args.k,
+                          instance=net.instance()))
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    from repro.api import scheme_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Compact roundtrip routing reproduction experiments",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scheme_help = "one of: " + ", ".join(scheme_names())
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--n", type=int, default=36, help="graph size")
@@ -181,6 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="graph family (random/cycle/torus/asym-torus/dht/layered)",
         )
         p.add_argument("--k", type=int, default=2, help="tradeoff parameter")
+        p.add_argument(
+            "--engine",
+            default="auto",
+            choices=ENGINES,
+            help="distance-oracle engine (auto / vectorized / python)",
+        )
 
     p = sub.add_parser("fig1", help="regenerate the Fig. 1 table")
     common(p)
@@ -189,17 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stretch", help="stretch distribution of one scheme")
     common(p)
-    p.add_argument(
-        "--scheme",
-        default="stretch6",
-        help="stretch6 / exstretch / polystretch / rtz",
-    )
+    p.add_argument("--scheme", default="stretch6", help=scheme_help)
     p.add_argument("--pairs", type=int, default=200)
     p.set_defaults(func=cmd_stretch)
 
     p = sub.add_parser("tables", help="table-composition breakdown")
     common(p)
-    p.add_argument("--scheme", default="stretch6")
+    p.add_argument("--scheme", default="stretch6", help=scheme_help)
     p.set_defaults(func=cmd_tables)
 
     p = sub.add_parser("covers", help="verify a Theorem 13 cover")
@@ -214,13 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_distributed)
 
     p = sub.add_parser(
-        "traffic", help="route a batched traffic workload through a scheme"
+        "traffic", help="route a batched traffic workload through schemes"
     )
     common(p)
     p.add_argument(
         "--scheme",
         default="stretch6",
-        help="stretch6 / exstretch / polystretch / rtz",
+        help="comma-separated list; " + scheme_help,
     )
     p.add_argument(
         "--workload",
@@ -229,7 +266,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="traffic shape (uniform / hotspot / adversarial / mixed)",
     )
     p.add_argument("--pairs", type=int, default=1000, help="journeys to route")
+    p.add_argument(
+        "--verbose-cache",
+        action="store_true",
+        help="print artifact-cache statistics even for one scheme",
+    )
     p.set_defaults(func=cmd_traffic)
+
+    p = sub.add_parser(
+        "schemes", help="list the registered schemes (names, params, bounds)"
+    )
+    p.set_defaults(func=cmd_schemes)
 
     p = sub.add_parser(
         "report", help="generate a full markdown reproduction report"

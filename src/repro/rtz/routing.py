@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import TableLookupError
 from repro.graph.roundtrip import RoundtripMetric
@@ -75,6 +75,10 @@ class RTZStretch3:
         metric: roundtrip metric of the graph.
         rng: landmark sampling randomness.
         center_count: landmark count override (default ``ceil(sqrt n)``).
+        centers: explicit landmark set; when given, ``rng`` and
+            ``center_count`` are ignored (used by
+            :func:`shared_substrate` to build from pre-sampled
+            landmarks).
     """
 
     def __init__(
@@ -82,12 +86,16 @@ class RTZStretch3:
         metric: RoundtripMetric,
         rng: Optional[random.Random] = None,
         center_count: Optional[int] = None,
+        centers: Optional[Sequence[int]] = None,
     ):
         self._metric = metric
         oracle = metric.oracle
         g = oracle.graph
         n = g.n
-        centers = sample_centers(n, rng, center_count)
+        if centers is None:
+            centers = sample_centers(n, rng, center_count)
+        else:
+            centers = sorted(centers)
         self.assignment = CenterAssignment(metric, centers)
 
         # Per-landmark tree structures spanning all of V.
@@ -224,3 +232,51 @@ class RTZStretch3:
         generous constant, used by size benchmarks."""
         n = self._metric.n
         return 12.0 * math.sqrt(n) * max(1.0, math.log2(n))
+
+
+# ----------------------------------------------------------------------
+# shared-substrate cache
+# ----------------------------------------------------------------------
+# Every scheme that rides on the Lemma 2 substrate (stretch-6, its
+# variant, the wild-name scheme, and the RTZ baseline) historically
+# built its own RTZStretch3 unless a ``substrate=`` kwarg was threaded
+# through by hand.  shared_substrate() deduplicates those builds: the
+# landmark set is sampled first (consuming the caller's rng exactly as
+# a fresh construction would, so downstream draws are unchanged), and
+# the expensive tree/table construction is reused whenever the same
+# metric and landmark set come around again.
+#
+# The cache lives on the metric object itself (not in a module-level
+# WeakKeyDictionary): a substrate strongly references its metric, so a
+# weak-keyed mapping would pin every entry forever, whereas the
+# metric -> cache -> substrate -> metric cycle here is ordinary
+# garbage once the metric's last external reference drops.
+_CACHE_ATTR = "_rtz_substrate_cache"
+
+
+def shared_substrate(
+    metric: RoundtripMetric,
+    rng: Optional[random.Random] = None,
+    center_count: Optional[int] = None,
+) -> RTZStretch3:
+    """A cached :class:`RTZStretch3` for ``metric``.
+
+    Identical ``(metric, sampled landmark set)`` pairs share one
+    substrate object; distinct rngs (hence distinct landmark sets) get
+    distinct substrates, so results are bit-identical to building
+    fresh.  This is the default construction path of the scheme
+    wrappers; pass ``substrate=`` explicitly to bypass it.  Cache
+    entries die with their metric.
+    """
+    centers = tuple(sample_centers(metric.n, rng, center_count))
+    per_metric: Optional[Dict[Tuple[int, ...], RTZStretch3]] = getattr(
+        metric, _CACHE_ATTR, None
+    )
+    if per_metric is None:
+        per_metric = {}
+        setattr(metric, _CACHE_ATTR, per_metric)
+    substrate = per_metric.get(centers)
+    if substrate is None:
+        substrate = RTZStretch3(metric, centers=centers)
+        per_metric[centers] = substrate
+    return substrate

@@ -198,6 +198,7 @@ class TrafficSummary:
         kind: workload kind label.
         pairs: journeys executed.
         total_cost: summed roundtrip path cost.
+        total_hops: summed roundtrip hop count.
         mean_cost: average roundtrip path cost.
         mean_hops: average roundtrip hop count.
         max_hops: worst roundtrip hop count.
@@ -214,6 +215,7 @@ class TrafficSummary:
     kind: str
     pairs: int
     total_cost: float
+    total_hops: int
     mean_cost: float
     mean_hops: float
     max_hops: int
@@ -284,7 +286,7 @@ def run_workload(
     elapsed = time.perf_counter() - t0
     if not traces:
         return TrafficSummary(
-            kind, 0, 0.0, 0.0, 0.0, 0, 0, float("nan"), float("nan"),
+            kind, 0, 0.0, 0, 0.0, 0.0, 0, 0, float("nan"), float("nan"),
             (-1, -1), elapsed,
         )
     total_cost = sum(t.total_cost for t in traces)
@@ -305,6 +307,7 @@ def run_workload(
         kind=kind,
         pairs=len(traces),
         total_cost=total_cost,
+        total_hops=total_hops,
         mean_cost=total_cost / len(traces),
         mean_hops=total_hops / len(traces),
         max_hops=max(t.total_hops for t in traces),

@@ -1,16 +1,26 @@
 """Routing schemes (systems S19-S22): the paper's three TINN schemes
-plus the two Fig. 1 baselines."""
+plus the two Fig. 1 baselines, the Section 2.2 variant, and the
+wild-name reduction.
+
+Importing this package registers every scheme with the
+:mod:`repro.api.registry`, so the registry's lazy
+``import repro.schemes`` sees the complete built-in set.
+"""
 
 from repro.schemes.exstretch import ExStretchScheme
 from repro.schemes.polystretch import PolynomialStretchScheme
 from repro.schemes.rtz_baseline import RTZBaselineScheme
 from repro.schemes.shortest_path import ShortestPathScheme
 from repro.schemes.stretch6 import StretchSixScheme
+from repro.schemes.stretch6_variant import StretchSixViaSourceScheme
+from repro.schemes.wild_names import WildNameStretchSix
 
 __all__ = [
     "ShortestPathScheme",
     "RTZBaselineScheme",
     "StretchSixScheme",
+    "StretchSixViaSourceScheme",
     "ExStretchScheme",
     "PolynomialStretchScheme",
+    "WildNameStretchSix",
 ]

@@ -46,6 +46,7 @@ from repro.runtime.scheme import (
     RETURN_PACKET,
     RoutingScheme,
 )
+from repro.api.registry import ParamSpec, register_scheme
 from repro.rtz.spanner import HandshakeSpanner, R2Label
 
 #: internal modes (Fig. 6's Outbound/Inbound)
@@ -317,3 +318,26 @@ class ExStretchScheme(RoutingScheme):
             + len(self._final[vertex])
             + self.spanner.table_entries(vertex)
         )
+
+
+@register_scheme(
+    "exstretch",
+    summary="Section 3 exponential tradeoff: (2^k - 1)(8k - 3) stretch, "
+    "~n^(1/k) tables",
+    params=(
+        ParamSpec("k", int, 2, "tradeoff parameter (k >= 2)"),
+        ParamSpec("blocks_per_node", int, None,
+                  "dictionary sampling budget override"),
+    ),
+    stretch_bound=lambda s: s.stretch_bound(),
+    bound_text="(2^k - 1)(8k - 3)",
+)
+def _build_exstretch(net, rng, k=2, blocks_per_node=None):
+    return ExStretchScheme(
+        net.metric(),
+        net.naming(),
+        k=k,
+        rng=rng,
+        spanner=net.spanner(k),
+        blocks_per_node=blocks_per_node,
+    )

@@ -28,6 +28,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.covers.double_tree import DoubleTree
 from repro.covers.hierarchy import TreeHierarchy
 from repro.exceptions import ConstructionError, TableLookupError
@@ -297,3 +298,17 @@ class PolynomialStretchScheme(RoutingScheme):
                 total += len(self._rows.get((tree.tree_id, vertex), {}))
         total += self.hierarchy.table_entries_at(vertex)
         return total
+
+
+@register_scheme(
+    "polystretch",
+    summary="Section 4 polynomial tradeoff: 8k^2 + 4k - 4 stretch via "
+    "level-doubling home-tree search",
+    params=(ParamSpec("k", int, 2, "tradeoff parameter (k >= 2)"),),
+    stretch_bound=lambda s: s.stretch_bound(),
+    bound_text="8k^2 + 4k - 4",
+)
+def _build_polystretch(net, rng, k=2):
+    return PolynomialStretchScheme(
+        net.metric(), net.naming(), k=k, rng=rng, hierarchy=net.hierarchy(k)
+    )

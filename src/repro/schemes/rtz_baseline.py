@@ -29,7 +29,8 @@ from repro.runtime.scheme import (
     RETURN_PACKET,
     RoutingScheme,
 )
-from repro.rtz.routing import RTZStretch3
+from repro.api.registry import register_scheme
+from repro.rtz.routing import RTZStretch3, shared_substrate
 
 #: internal modes
 _OUT = "o3"
@@ -58,7 +59,9 @@ class RTZBaselineScheme(RoutingScheme):
     ):
         self._metric = metric
         self._naming = naming
-        self.rtz = substrate or RTZStretch3(metric, rng)
+        self.rtz = (
+            substrate if substrate is not None else shared_substrate(metric, rng)
+        )
 
     @property
     def graph(self) -> Digraph:
@@ -103,3 +106,16 @@ class RTZBaselineScheme(RoutingScheme):
 
     def table_entries(self, vertex: int) -> int:
         return self.rtz.table_entries(vertex)
+
+
+@register_scheme(
+    "rtz",
+    summary="name-dependent RTZ stretch-3 baseline (labels as names)",
+    stretch_bound=lambda s: 3.0,
+    bound_text="3",
+    name_independent=False,
+)
+def _build_rtz(net, rng):
+    return RTZBaselineScheme(
+        net.metric(), net.naming(), rng=rng, substrate=net.rtz()
+    )

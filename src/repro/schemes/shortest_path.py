@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.api.registry import register_scheme
 from repro.graph.digraph import Digraph
 from repro.graph.shortest_paths import DistanceOracle
 from repro.naming.permutation import Naming
@@ -76,3 +77,14 @@ class ShortestPathScheme(RoutingScheme):
 
     def table_entries(self, vertex: int) -> int:
         return len(self._table[vertex])
+
+
+@register_scheme(
+    "shortest_path",
+    summary="full-table optimal routing (the non-compact baseline)",
+    stretch_bound=lambda s: 1.0,
+    bound_text="1",
+    name_independent=False,
+)
+def _build_shortest_path(net, rng):
+    return ShortestPathScheme(net.oracle(), net.naming())

@@ -40,7 +40,8 @@ from repro.runtime.scheme import (
     RETURN_PACKET,
     RoutingScheme,
 )
-from repro.rtz.routing import R3Label, RTZStretch3
+from repro.api.registry import ParamSpec, register_scheme
+from repro.rtz.routing import R3Label, RTZStretch3, shared_substrate
 
 #: internal modes (Fig. 3's Outbound/Inbound)
 _OUTBOUND = "s6o"
@@ -83,7 +84,9 @@ class StretchSixScheme(RoutingScheme):
             )
         self._metric = metric
         self._naming = naming
-        self.rtz = substrate or RTZStretch3(metric, rng)
+        self.rtz = (
+            substrate if substrate is not None else shared_substrate(metric, rng)
+        )
         self.blocks: BlockSpace = sqrt_block_space(n)
         self.distribution = BlockDistribution(
             metric, self.blocks, rng, blocks_per_node=blocks_per_node
@@ -217,3 +220,23 @@ class StretchSixScheme(RoutingScheme):
             + len(self._dict[vertex])
             + self.rtz.table_entries(vertex)
         )
+
+
+@register_scheme(
+    "stretch6",
+    summary="Section 2 stretch-6 TINN scheme (~sqrt(n) tables)",
+    params=(
+        ParamSpec("blocks_per_node", int, None,
+                  "dictionary sampling budget override"),
+    ),
+    stretch_bound=lambda s: StretchSixScheme.STRETCH_BOUND,
+    bound_text="6",
+)
+def _build_stretch6(net, rng, blocks_per_node=None):
+    return StretchSixScheme(
+        net.metric(),
+        net.naming(),
+        rng=rng,
+        substrate=net.rtz(),
+        blocks_per_node=blocks_per_node,
+    )

@@ -15,6 +15,7 @@ as usual; worst-case stretch is still 6 by the paper's remark.
 from __future__ import annotations
 
 
+from repro.api.registry import ParamSpec, register_scheme
 from repro.exceptions import TableLookupError
 from repro.runtime.scheme import (
     Decision,
@@ -116,3 +117,24 @@ class StretchSixViaSourceScheme(StretchSixScheme):
             "dict_node": dict_node,
             "leg": self.rtz.begin_leg(at, dict_label),
         }
+
+
+@register_scheme(
+    "stretch6_via_source",
+    summary="Section 2.2 remark variant: dictionary roundtrip through "
+    "the source (same worst-case stretch 6)",
+    params=(
+        ParamSpec("blocks_per_node", int, None,
+                  "dictionary sampling budget override"),
+    ),
+    stretch_bound=lambda s: StretchSixViaSourceScheme.STRETCH_BOUND,
+    bound_text="6",
+)
+def _build_stretch6_via_source(net, rng, blocks_per_node=None):
+    return StretchSixViaSourceScheme(
+        net.metric(),
+        net.naming(),
+        rng=rng,
+        substrate=net.rtz(),
+        blocks_per_node=blocks_per_node,
+    )

@@ -45,7 +45,8 @@ from repro.runtime.scheme import (
     RETURN_PACKET,
     RoutingScheme,
 )
-from repro.rtz.routing import R3Label, RTZStretch3
+from repro.api.registry import ParamSpec, register_scheme
+from repro.rtz.routing import R3Label, RTZStretch3, shared_substrate
 
 _OUTBOUND = "w6o"
 _INBOUND = "w6i"
@@ -83,7 +84,9 @@ class WildNameStretchSix(RoutingScheme):
             )
         self._metric = metric
         self._hashed = hashed
-        self.rtz = substrate or RTZStretch3(metric, rng)
+        self.rtz = (
+            substrate if substrate is not None else shared_substrate(metric, rng)
+        )
         self.blocks: BlockSpace = sqrt_block_space(n)
         self.distribution = BlockDistribution(
             metric, self.blocks, rng, blocks_per_node=blocks_per_node
@@ -227,3 +230,29 @@ class WildNameStretchSix(RoutingScheme):
         mine = sum(self.table_entries(v) for v in range(self._metric.n))
         ref = sum(reference_entries)
         return mine / ref if ref else float("inf")
+
+
+@register_scheme(
+    "wild_names",
+    summary="stretch-6 scheme addressed by arbitrary unique names "
+    "(the §1.1.2 hash reduction, end to end)",
+    params=(
+        ParamSpec("universe", int, None,
+                  "exclusive wild-name upper bound (default 2^48)"),
+        ParamSpec("blocks_per_node", int, None,
+                  "dictionary sampling budget override"),
+    ),
+    stretch_bound=lambda s: WildNameStretchSix.STRETCH_BOUND,
+    bound_text="6",
+)
+def _build_wild_names(net, rng, universe=None, blocks_per_node=None):
+    hashed = (
+        net.hashed_naming() if universe is None else net.hashed_naming(universe)
+    )
+    return WildNameStretchSix(
+        net.metric(),
+        hashed,
+        rng=rng,
+        substrate=net.rtz(),
+        blocks_per_node=blocks_per_node,
+    )

@@ -1,0 +1,254 @@
+"""Tests for the unified API: registry, Network facade, Router.
+
+Covers the contract the facade guarantees:
+
+* every registered scheme builds and round-trips on two standard
+  graph families through ``Network.build_scheme(name)``;
+* shared artifacts (metric, RTZ substrate) are built exactly once when
+  several schemes ride on them (cache-hit accounting);
+* unknown scheme names fail with a clean error listing the registered
+  choices, and invalid parameters fail with the accepted ones;
+* the ``engine`` knob reaches the distance oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.api import (
+    Network,
+    Router,
+    UnknownSchemeError,
+    all_specs,
+    get_spec,
+    scheme_names,
+)
+from repro.exceptions import ConstructionError, GraphError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import bidirected_torus, random_strongly_connected
+from repro.rtz.routing import shared_substrate
+
+
+def make_network(family: str = "random", n: int = 20, seed: int = 0) -> Network:
+    if family == "torus":
+        side = max(2, int(round(n ** 0.5)))
+        g = bidirected_torus(side, side, rng=random.Random(seed))
+    else:
+        g = random_strongly_connected(n, rng=random.Random(seed))
+    return Network(g, seed=seed + 1)
+
+
+class TestRegistry:
+    def test_builtin_schemes_registered(self):
+        names = scheme_names()
+        for expected in (
+            "stretch6",
+            "stretch6_via_source",
+            "exstretch",
+            "polystretch",
+            "rtz",
+            "shortest_path",
+            "wild_names",
+        ):
+            assert expected in names
+
+    def test_unknown_scheme_lists_choices(self):
+        with pytest.raises(UnknownSchemeError) as exc:
+            get_spec("no-such-scheme")
+        message = str(exc.value)
+        assert "no-such-scheme" in message
+        for name in scheme_names():
+            assert name in message
+
+    def test_name_normalization(self):
+        assert get_spec("stretch6-via-source").name == "stretch6_via_source"
+        assert get_spec("STRETCH6").name == "stretch6"
+
+    def test_unknown_parameter_rejected(self):
+        spec = get_spec("stretch6")
+        with pytest.raises(ConstructionError) as exc:
+            spec.validate_params({"bogus": 1})
+        assert "bogus" in str(exc.value)
+        assert "blocks_per_node" in str(exc.value)
+
+    def test_parameter_defaults_and_coercion(self):
+        spec = get_spec("exstretch")
+        resolved = spec.validate_params({})
+        assert resolved["k"] == 2
+        assert spec.validate_params({"k": "3"})["k"] == 3
+        with pytest.raises(ConstructionError):
+            spec.validate_params({"k": "not-an-int"})
+
+    def test_spec_accepts(self):
+        assert get_spec("exstretch").accepts("k")
+        assert not get_spec("stretch6").accepts("k")
+
+
+class TestNetwork:
+    @pytest.mark.parametrize("family", ["random", "torus"])
+    @pytest.mark.parametrize("name", sorted(scheme_names()))
+    def test_every_scheme_roundtrips(self, family, name):
+        net = make_network(family, n=16, seed=3)
+        scheme = net.build_scheme(name)
+        bound = net.stretch_bound(name)
+        router = net.router(scheme)
+        prng = random.Random(9)
+        for _ in range(12):
+            s = prng.randrange(net.n)
+            t = prng.randrange(net.n)
+            if s == t:
+                continue
+            result = router.route(s, t)
+            assert result.dest == t
+            assert result.stretch <= bound + 1e-9
+            assert result.cost > 0.0
+
+    def test_shared_artifacts_built_once(self):
+        """Acceptance: two schemes on one network build the metric and
+        the RTZ substrate exactly once each."""
+        net = make_network(n=18, seed=5)
+        s6 = net.build_scheme("stretch6")
+        rtz = net.build_scheme("rtz")
+        info = net.cache_info()
+        assert info["metric"]["builds"] == 1
+        assert info["metric"]["hits"] >= 1
+        assert info["rtz"]["builds"] == 1
+        assert info["rtz"]["hits"] >= 1
+        assert info["oracle"]["builds"] == 1
+        assert info["naming"]["builds"] == 1
+        # the same substrate object is shared, not merely equal
+        assert s6.rtz is rtz.rtz
+
+    def test_hierarchy_shared_between_exstretch_and_polystretch(self):
+        net = make_network(n=14, seed=2)
+        ex = net.build_scheme("exstretch", k=2)
+        poly = net.build_scheme("polystretch", k=2)
+        assert net.cache_info()["hierarchy[k=2]"]["builds"] == 1
+        assert ex.spanner.hierarchy is poly.hierarchy
+
+    def test_build_scheme_cached_per_params(self):
+        net = make_network(n=14, seed=4)
+        a = net.build_scheme("exstretch", k=2)
+        b = net.build_scheme("exstretch", k=2)
+        c = net.build_scheme("exstretch", k=3)
+        assert a is b
+        assert c is not a
+
+    def test_unknown_scheme_through_network(self):
+        net = make_network(n=10, seed=1)
+        with pytest.raises(UnknownSchemeError):
+            net.build_scheme("definitely-not-registered")
+
+    def test_requires_frozen_graph(self):
+        g = Digraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 0, 1.0)
+        with pytest.raises(GraphError):
+            Network(g)
+
+    def test_engine_plumbed_to_oracle(self):
+        net_py = make_network(n=12, seed=6)
+        net_vec = Network(net_py.graph, seed=7, engine="python")
+        assert net_vec.oracle().engine == "python"
+        default = Network(net_py.graph, seed=7).oracle()
+        assert (default.d_matrix == net_vec.oracle().d_matrix).all()
+
+    def test_unknown_engine_rejected(self):
+        g = random_strongly_connected(8, rng=random.Random(0))
+        with pytest.raises(GraphError):
+            Network(g, engine="quantum")
+
+    def test_from_family(self):
+        net = Network.from_family("cycle", 12, seed=2)
+        assert net.n == 12
+        with pytest.raises(GraphError) as exc:
+            Network.from_family("nope", 12)
+        assert "cycle" in str(exc.value)
+
+    def test_instance_bridge_matches_artifacts(self):
+        net = make_network(n=12, seed=8)
+        inst = net.instance()
+        assert inst.graph is net.graph
+        assert inst.oracle is net.oracle()
+        assert inst.naming is net.naming()
+        assert inst.metric is net.metric()
+
+    def test_deterministic_across_networks(self):
+        a = make_network(n=12, seed=11)
+        b = make_network(n=12, seed=11)
+        assert a.naming() == b.naming()
+        assert a.build_scheme("rtz").rtz.centers == b.build_scheme("rtz").rtz.centers
+
+
+class TestSharedSubstrate:
+    def test_identical_rng_shares_object(self, small_metric):
+        a = shared_substrate(small_metric, random.Random(3))
+        b = shared_substrate(small_metric, random.Random(3))
+        assert a is b
+
+    def test_distinct_rng_distinct_substrate(self, small_metric):
+        a = shared_substrate(small_metric, random.Random(3))
+        b = shared_substrate(small_metric, random.Random(4))
+        if a.centers != b.centers:  # overwhelmingly likely
+            assert a is not b
+
+    def test_explicit_substrate_kwarg_still_wins(self, small_metric):
+        from repro.naming.permutation import random_naming
+        from repro.rtz.routing import RTZStretch3
+        from repro.schemes.rtz_baseline import RTZBaselineScheme
+
+        naming = random_naming(small_metric.n, random.Random(1))
+        mine = RTZStretch3(small_metric, random.Random(2))
+        scheme = RTZBaselineScheme(small_metric, naming, substrate=mine)
+        assert scheme.rtz is mine
+
+
+class TestRouter:
+    def test_accounting_counts_queries(self):
+        net = make_network(n=14, seed=12)
+        router = net.router("stretch6")
+        router.route(0, 5)
+        router.route_many([(1, 2), (3, 4)])
+        acct = router.accounting()
+        assert acct.queries == 3
+        assert acct.total_hops > 0
+        assert acct.max_header_bits > 0
+        assert acct.tables.max_entries > 0
+        assert acct.scheme == "stretch-6 (TINN)"
+        assert "queries served" in acct.format()
+
+    def test_route_by_name(self):
+        net = make_network(n=14, seed=13)
+        router = net.router("stretch6")
+        naming = net.naming()
+        by_vertex = router.route(0, 5)
+        by_name = router.route(0, naming.name_of(5), by_name=True)
+        assert by_name.dest == 5
+        assert by_name.cost == by_vertex.cost
+
+    def test_router_without_oracle_has_nan_stretch(self):
+        net = make_network(n=12, seed=14)
+        router = Router(net.build_scheme("rtz"))
+        assert math.isnan(router.route(0, 3).stretch)
+
+    def test_serve_workload(self):
+        from repro.runtime.traffic import generate_workload
+
+        net = make_network(n=14, seed=15)
+        router = net.router("rtz")
+        workload = generate_workload("uniform", net.n, 25, rng=random.Random(1))
+        summary = router.serve_workload(workload)
+        assert summary.pairs == 25
+        assert summary.max_stretch <= 3.0 + 1e-9
+        assert router.accounting().queries == 25
+
+
+class TestSpecsListing:
+    def test_all_specs_have_summaries_and_bounds(self):
+        for spec in all_specs():
+            assert spec.summary
+            assert spec.bound_text != "?"

@@ -141,8 +141,50 @@ class TestCLI:
             main(["stretch", "--family", "nope", "--n", "12"])
 
     def test_unknown_scheme_exits(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as exc:
             main(["stretch", "--scheme", "nope", "--n", "12"])
+        # the error names the registered choices
+        assert "stretch6" in str(exc.value)
+
+    def test_engine_flag(self, capsys):
+        rc = main(["stretch", "--engine", "python", "--n", "12",
+                   "--pairs", "20"])
+        assert rc == 0
+        with pytest.raises(SystemExit):
+            main(["stretch", "--engine", "quantum", "--n", "12"])
+
+    def test_schemes_subcommand(self, capsys):
+        from repro.api import scheme_names
+
+        rc = main(["schemes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in scheme_names():
+            assert name in out
+        assert "stretch bound" in out
+
+    def test_traffic_multi_scheme_shares_artifacts(self, capsys):
+        rc = main(["traffic", "--n", "16", "--scheme", "stretch6,rtz",
+                   "--pairs", "40", "--workload", "uniform"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stretch-6 (TINN)" in out
+        assert "rtz-3 (name-dep)" in out
+        assert "shared artifacts reused" in out
+        assert "shared artifact cache" in out
+        # the metric and substrate lines report exactly one build each
+        for artifact in ("metric", "rtz "):
+            line = next(
+                ln for ln in out.splitlines() if ln.strip().startswith(artifact)
+            )
+            assert "builds=1" in line
+
+    def test_traffic_single_scheme(self, capsys):
+        rc = main(["traffic", "--n", "14", "--scheme", "rtz",
+                   "--pairs", "25", "--workload", "hotspot"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "within the claimed stretch bound 3.0" in out
 
 
 class TestReport:
