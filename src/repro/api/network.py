@@ -60,8 +60,10 @@ class Network:
             in :mod:`repro.graph.generators` returns one).
         seed: master seed; every artifact and scheme derives its own
             deterministic rng stream from it.
-        engine: :class:`DistanceOracle` engine (``"auto"`` /
-            ``"vectorized"`` / ``"python"``).
+        engine: ``"auto"`` / ``"vectorized"`` / ``"python"`` — governs
+            both the :class:`DistanceOracle` build and the execution
+            engine routers serve batched traffic with (see
+            :mod:`repro.runtime.engine`).
 
     Raises:
         GraphError: for an unfrozen graph or unknown engine.
@@ -132,7 +134,8 @@ class Network:
 
     @property
     def engine(self) -> str:
-        """The distance-oracle engine requested at construction."""
+        """The engine knob requested at construction (governs oracle
+        builds and batched routing execution)."""
         return self._engine
 
     def derive_rng(self, tag: str, params: Optional[Dict[str, Any]] = None) -> random.Random:
@@ -305,6 +308,7 @@ class Network:
         self,
         scheme: Union[str, "RoutingScheme"],
         hop_limit: Optional[int] = None,
+        engine: Optional[str] = None,
         **params: Any,
     ) -> "Router":
         """A routing session over one scheme of this network.
@@ -313,10 +317,17 @@ class Network:
             scheme: a registry name (built/cached via
                 :meth:`build_scheme`) or an already-built scheme.
             hop_limit: per-leg hop budget override.
+            engine: execution-engine override for batched serving
+                (defaults to this network's engine knob).
             **params: forwarded to :meth:`build_scheme` for names.
         """
         from repro.api.router import Router
 
         if isinstance(scheme, str):
             scheme = self.build_scheme(scheme, **params)
-        return Router(scheme, oracle=self.oracle(), hop_limit=hop_limit)
+        return Router(
+            scheme,
+            oracle=self.oracle(),
+            hop_limit=hop_limit,
+            engine=engine or self._engine,
+        )

@@ -17,8 +17,9 @@ Obtained from a network::
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.graph.shortest_paths import DistanceOracle
 from repro.runtime.scheme import RoutingScheme
@@ -63,6 +64,10 @@ class RouterAccounting:
         total_hops: summed roundtrip hops across queries.
         max_header_bits: largest header seen in any served query.
         tables: the scheme's table footprint (entries/bits).
+        engines: per-engine serving stats in the
+            :meth:`repro.api.Network.cache_info` style —
+            ``{"vectorized": {"batches", "pairs", "seconds"},
+            "python": {...}}``.
     """
 
     scheme: str
@@ -71,6 +76,7 @@ class RouterAccounting:
     total_hops: int
     max_header_bits: int
     tables: TableReport
+    engines: Dict[str, Dict[str, float]]
 
     def format(self) -> str:
         """Human-readable accounting block."""
@@ -84,6 +90,13 @@ class RouterAccounting:
             f"mean {self.tables.mean_entries:.1f} "
             f"({self.tables.max_bits} bits worst)",
         ]
+        for engine, s in sorted(self.engines.items()):
+            if s["batches"] or s["pairs"]:
+                lines.append(
+                    f"engine          : {engine} — "
+                    f"{int(s['pairs'])} pairs in {int(s['batches'])} "
+                    f"batches ({s['seconds'] * 1000:.1f} ms)"
+                )
         return "\n".join(lines)
 
 
@@ -95,6 +108,10 @@ class Router:
         oracle: ground-truth distances of the same graph; enables the
             ``stretch`` column of results (optional).
         hop_limit: per-leg hop budget override for the simulator.
+        engine: default execution engine for batched queries
+            (``"auto"`` / ``"vectorized"`` / ``"python"``; ``"auto"``
+            compiles the scheme's tables when it can and falls back to
+            the hop-by-hop simulator when it cannot).
     """
 
     def __init__(
@@ -102,15 +119,22 @@ class Router:
         scheme: RoutingScheme,
         oracle: Optional[DistanceOracle] = None,
         hop_limit: Optional[int] = None,
+        engine: str = "auto",
     ):
         self._scheme = scheme
         self._oracle = oracle
         self._sim = Simulator(scheme, hop_limit=hop_limit)
+        self._hop_limit = hop_limit
+        self._engine = engine
         self._queries = 0
         self._total_cost = 0.0
         self._total_hops = 0
         self._max_header_bits = 0
         self._tables: Optional[TableReport] = None
+        self._engine_stats: Dict[str, Dict[str, float]] = {
+            name: {"batches": 0, "pairs": 0, "seconds": 0.0}
+            for name in ("vectorized", "python")
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +146,22 @@ class Router:
     def oracle(self) -> Optional[DistanceOracle]:
         """The attached ground-truth oracle, if any."""
         return self._oracle
+
+    @property
+    def engine(self) -> str:
+        """The session's default execution engine (as requested)."""
+        return self._engine
+
+    def resolve_engine(self, engine: Optional[str] = None) -> str:
+        """The concrete engine a batched call would use (``None``
+        resolves the session default)."""
+        return self._sim.resolve_engine(engine or self._engine)
+
+    def _account_batch(self, engine: str, pairs: int, seconds: float) -> None:
+        stats = self._engine_stats[engine]
+        stats["batches"] += 1
+        stats["pairs"] += pairs
+        stats["seconds"] += seconds
 
     def _result(self, s: int, t: int, name: int, trace: RoundtripTrace) -> RouteResult:
         cost = trace.total_cost
@@ -159,25 +199,57 @@ class Router:
         """
         name = dest if by_name else self._scheme.name_of(dest)
         vertex = self._scheme.vertex_of(name)
+        t0 = time.perf_counter()
         trace = self._sim.roundtrip(source, name)
+        self._account_batch("python", 1, time.perf_counter() - t0)
         return self._result(source, vertex, name, trace)
 
     def route_many(
         self,
         pairs: Iterable[Tuple[int, int]],
         by_name: bool = False,
+        engine: Optional[str] = None,
     ) -> List[RouteResult]:
-        """Serve a batch of roundtrip queries, in input order."""
-        return [self.route(s, t, by_name=by_name) for (s, t) in pairs]
+        """Serve a batch of roundtrip queries, in input order.
+
+        The batch executes through the compiled vectorized engine when
+        the scheme supports it (or as the ``engine`` override
+        requests); results are identical either way.
+        """
+        pair_list = list(pairs)
+        resolved = self.resolve_engine(engine)
+        t0 = time.perf_counter()
+        traces = self._sim.roundtrip_many(
+            pair_list, by_name=by_name, engine=resolved
+        )
+        self._account_batch(
+            resolved, len(pair_list), time.perf_counter() - t0
+        )
+        results = []
+        for (s, t), trace in zip(pair_list, traces):
+            name = t if by_name else self._scheme.name_of(t)
+            vertex = t if not by_name else self._scheme.vertex_of(t)
+            results.append(self._result(s, vertex, name, trace))
+        return results
 
     def serve_workload(
         self,
         workload: Union[Workload, Sequence[Tuple[int, int]]],
+        engine: Optional[str] = None,
     ) -> TrafficSummary:
         """Route a traffic workload and return the aggregate summary
-        (delegates to :func:`repro.runtime.traffic.run_workload`; the
-        session counters absorb the batch)."""
-        summary = run_workload(self._scheme, workload, oracle=self._oracle)
+        (delegates to :func:`repro.runtime.traffic.run_workload` on the
+        resolved execution engine; the session counters absorb the
+        batch)."""
+        resolved = self.resolve_engine(engine)
+        summary = run_workload(
+            self._scheme,
+            workload,
+            oracle=self._oracle,
+            hop_limit=self._hop_limit,
+            engine=resolved,
+        )
+        self._account_batch(resolved, summary.pairs, summary.elapsed_s)
         self._queries += summary.pairs
         self._total_cost += summary.total_cost
         self._total_hops += summary.total_hops
@@ -195,9 +267,14 @@ class Router:
             self._tables = measure_tables(self._scheme)
         return self._tables
 
+    def engine_info(self) -> Dict[str, Dict[str, float]]:
+        """Per-engine serving statistics (``batches`` / ``pairs`` /
+        ``seconds`` per engine, :meth:`Network.cache_info` style)."""
+        return {name: dict(s) for name, s in self._engine_stats.items()}
+
     def accounting(self) -> RouterAccounting:
-        """Session accounting: queries, hop/cost totals, headers, and
-        the scheme's table footprint."""
+        """Session accounting: queries, hop/cost totals, headers,
+        per-engine serving stats, and the scheme's table footprint."""
         return RouterAccounting(
             scheme=self._scheme.name,
             queries=self._queries,
@@ -205,4 +282,5 @@ class Router:
             total_hops=self._total_hops,
             max_header_bits=self._max_header_bits,
             tables=self.table_report(),
+            engines=self.engine_info(),
         )

@@ -35,7 +35,7 @@ from repro.analysis.tables import breakdown
 from repro.api import Network, UnknownSchemeError, all_specs, get_spec
 from repro.api.network import ENGINES
 from repro.distributed.preprocessing import DistributedPreprocessing
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, RoutingError
 from repro.runtime.scheme import RoutingScheme
 from repro.runtime.traffic import WORKLOAD_KINDS, generate_workload
 
@@ -149,13 +149,20 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         t0 = time.perf_counter()
         scheme, bound = _build_scheme(net, label, args)
         build_s = time.perf_counter() - t0
-        router = net.router(scheme)
+        router = net.router(scheme, engine=args.engine)
+        try:
+            resolved = router.resolve_engine()
+        except RoutingError as exc:
+            raise SystemExit(str(exc))
         summary = router.serve_workload(workload)
         if i:
             print()
         print(f"scheme     : {scheme.name} on {args.family} (n={net.n})")
         print(f"build time : {build_s * 1000:.1f} ms"
               + ("  (shared artifacts reused)" if i else ""))
+        print(f"engine     : {resolved}"
+              + ("  (compiled decision tables)"
+                 if resolved == "vectorized" else ""))
         print(summary.format())
         if summary.pairs == 0:
             print("\nempty workload; nothing to route")
@@ -220,7 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine",
             default="auto",
             choices=ENGINES,
-            help="distance-oracle engine (auto / vectorized / python)",
+            help="distance-oracle and routing-execution engine "
+            "(auto / vectorized / python); traffic executes its "
+            "workload through this engine",
         )
 
     p = sub.add_parser("fig1", help="regenerate the Fig. 1 table")

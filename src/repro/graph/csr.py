@@ -35,6 +35,12 @@ _SNAPSHOT_CACHE: "weakref.WeakKeyDictionary[Digraph, CSRGraph]" = (
     weakref.WeakKeyDictionary()
 )
 
+# Dense (n, n) weight matrices, one per snapshot (built on first use by
+# the vectorized routing engine; dies with its snapshot).
+_DENSE_WEIGHT_CACHE: "weakref.WeakKeyDictionary[CSRGraph, object]" = (
+    weakref.WeakKeyDictionary()
+)
+
 
 class CSRGraph:
     """Read-only CSR snapshot of a :class:`Digraph`.
@@ -178,6 +184,26 @@ class CSRGraph:
         if self.m == 0:
             return float("inf")
         return float(self.out_weights.min())
+
+    def dense_weights(self) -> np.ndarray:
+        """The ``(n, n)`` dense weight matrix (``nan`` where no edge),
+        built once per snapshot and shared read-only.
+
+        The vectorized routing engine charges ``W[at, next]`` per
+        frontier sweep; values are the exact float64 weights
+        :meth:`Digraph.weight` returns, so batched cost accumulation
+        is bit-equal to the hop-by-hop simulator's.
+        """
+        cached = _DENSE_WEIGHT_CACHE.get(self)
+        if cached is None:
+            w = np.full((self.n, self.n), np.nan, dtype=np.float64)
+            tails = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.out_degrees()
+            )
+            w[tails, self.out_heads] = self.out_weights
+            w.flags.writeable = False
+            cached = _DENSE_WEIGHT_CACHE[self] = w
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(n={self.n}, m={self.m})"

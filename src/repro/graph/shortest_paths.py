@@ -295,6 +295,40 @@ class DistanceOracle:
         ``source -> v``)."""
         return list(self._parent[source])
 
+    def first_hop_matrix(self) -> np.ndarray:
+        """``(n, n)`` int32 matrix of canonical first hops:
+        ``F[u, v] == next_hop(u, v)`` for every ``u != v`` (``-1`` on
+        the diagonal), computed by vectorized pointer doubling over the
+        cached parent trees and memoized.
+
+        This is the compiled form of full-table forwarding: the
+        vectorized routing engine gathers ``F[at, dest]`` per frontier
+        sweep instead of walking parent chains per packet.
+        """
+        cached = getattr(self, "_first_hop", None)
+        if cached is not None:
+            return cached
+        n = self.n
+        parent = np.asarray(self._parent, dtype=np.int32)
+        rows = np.arange(n, dtype=np.int32)[:, None]
+        cols = np.arange(n, dtype=np.int32)[None, :].repeat(n, axis=0)
+        # F[u, v] = v where parent[u, v] == u, else F[u, parent[u, v]];
+        # resolve the recursion with jump pointers (log diameter
+        # rounds of take_along_axis instead of n^2 chain walks).
+        first = np.where(parent == rows, cols, -1).astype(np.int32)
+        jump = np.where(parent >= 0, parent, cols)
+        while True:
+            hop = np.take_along_axis(first, jump, axis=1)
+            progressed = (first < 0) & (hop >= 0)
+            if not progressed.any():
+                break  # only the diagonal (its parent is -1) remains
+            first = np.where(progressed, hop, first)
+            jump = np.take_along_axis(jump, jump, axis=1)
+        np.fill_diagonal(first, -1)
+        first.flags.writeable = False
+        self._first_hop = first
+        return first
+
     def diameter(self) -> float:
         """One-way diameter ``max d(u, v)``."""
         return float(self._d.max())

@@ -12,6 +12,15 @@ from repro.runtime.scheme import (
     RoutingScheme,
 )
 from repro.runtime.codec import BitReader, BitWriter, CodecError, HeaderCodec
+from repro.runtime.engine import (
+    EXECUTION_ENGINES,
+    CompiledRoutes,
+    DenseNextHop,
+    JourneyPlan,
+    Segment,
+    SubstrateStepTables,
+    run_roundtrips,
+)
 from repro.runtime.simulator import LegTrace, RoundtripTrace, Simulator
 from repro.runtime.sizing import (
     MODE_BITS,
@@ -50,6 +59,14 @@ __all__ = [
     "Simulator",
     "LegTrace",
     "RoundtripTrace",
+    "EXECUTION_ENGINES",
+    "CompiledRoutes",
+    "DenseNextHop",
+    "SubstrateStepTables",
+    "JourneyPlan",
+    "Segment",
+    "run_roundtrips",
+
     "HeaderCodec",
     "BitWriter",
     "BitReader",

@@ -106,6 +106,29 @@ class RoutingScheme(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    # compiled execution (the batched fast path)
+    # ------------------------------------------------------------------
+    def compile_tables(self):
+        """Compile this scheme's forwarding function into dense
+        vectorized decision tables.
+
+        Returns a :class:`repro.runtime.engine.CompiledRoutes` when the
+        scheme's headers are segment-wise structurally constant (see
+        :mod:`repro.runtime.engine`), or ``None`` — the default — when
+        they are not; the simulator then transparently falls back to
+        hop-by-hop Python execution.
+        """
+        return None
+
+    def compiled_routes(self):
+        """Cached :meth:`compile_tables` result (compiled at most once
+        per scheme instance; ``None`` means "not compilable")."""
+        cached = getattr(self, "_compiled_routes", False)
+        if cached is False:
+            cached = self._compiled_routes = self.compile_tables()
+        return cached
+
+    # ------------------------------------------------------------------
     # table accounting
     # ------------------------------------------------------------------
     @abc.abstractmethod

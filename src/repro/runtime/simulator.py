@@ -23,6 +23,11 @@ from repro.exceptions import HopLimitExceeded, RoutingError
 from repro.runtime.scheme import Deliver, Forward, Header, RoutingScheme
 from repro.runtime.sizing import header_bits
 
+#: engine names understood by the batched entry points (resolved by
+#: :meth:`Simulator.resolve_engine`; also re-exported by
+#: :mod:`repro.runtime.engine`)
+EXECUTION_ENGINES = ("auto", "vectorized", "python")
+
 
 @dataclass
 class LegTrace:
@@ -148,10 +153,42 @@ class Simulator:
         inbound, _final = self._run_leg(dest_vertex, return_header, source)
         return RoundtripTrace(outbound, inbound)
 
+    def resolve_engine(self, engine: str = "auto") -> str:
+        """The concrete engine a batched call would use.
+
+        ``"auto"`` resolves to ``"vectorized"`` exactly when the scheme
+        compiles (see
+        :meth:`~repro.runtime.scheme.RoutingScheme.compile_tables`),
+        ``"python"`` otherwise.
+
+        Raises:
+            RoutingError: for an unknown engine name, or for an
+                explicit ``"vectorized"`` request on a scheme that does
+                not compile.
+        """
+        if engine not in EXECUTION_ENGINES:
+            raise RoutingError(
+                f"unknown execution engine {engine!r}; choose from "
+                f"{EXECUTION_ENGINES}"
+            )
+        if engine == "python":
+            return "python"
+        compiled = self._scheme.compiled_routes()
+        if compiled is not None:
+            return "vectorized"
+        if engine == "vectorized":
+            raise RoutingError(
+                f"scheme {self._scheme.name} does not support compiled "
+                "vectorized execution (compile_tables() returned None); "
+                "use engine='auto' or 'python'"
+            )
+        return "python"
+
     def roundtrip_many(
         self,
         pairs: Iterable[Tuple[int, int]],
         by_name: bool = False,
+        engine: str = "auto",
     ) -> List[RoundtripTrace]:
         """Run the full roundtrip protocol for a batch of pairs.
 
@@ -166,14 +203,35 @@ class Simulator:
                 (translated through the scheme's naming, matching how
                 workload generators produce pairs); pass
                 ``by_name=True`` when destinations already are names.
+            engine: ``"vectorized"`` executes the batch as frontier
+                sweeps over the scheme's compiled decision tables
+                (:mod:`repro.runtime.engine`); ``"python"`` runs the
+                hop-by-hop reference loop; ``"auto"`` (default) uses
+                the vectorized engine whenever the scheme compiles.
+                All engines produce bit-identical traces.
 
         Returns:
             One :class:`RoundtripTrace` per pair, in input order.
 
         Raises:
             RoutingError: propagated from any journey — batch
-                measurement never hides a delivery bug.
+                measurement never hides a delivery bug — and for
+                unsupported engine requests (see :meth:`resolve_engine`).
+            HopLimitExceeded: when any journey exceeds the hop budget.
         """
+        if self.resolve_engine(engine) == "vectorized":
+            from repro.runtime.engine import run_roundtrips
+
+            vertex_of = self._scheme.vertex_of
+            vertex_pairs = [
+                (s, vertex_of(t) if by_name else t) for (s, t) in pairs
+            ]
+            return run_roundtrips(
+                self._scheme.compiled_routes(),
+                vertex_pairs,
+                self._hop_limit,
+                scheme_name=self._scheme.name,
+            )
         name_of = self._scheme.name_of
         return [
             self.roundtrip(s, t if by_name else name_of(t))

@@ -230,6 +230,69 @@ class TrafficSummary:
         """Routing throughput of the batch."""
         return self.pairs / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
+    @classmethod
+    def merge(cls, summaries: Sequence["TrafficSummary"]) -> "TrafficSummary":
+        """Aggregate several partial summaries into one.
+
+        The merged summary equals (up to float summation order) the
+        summary of the concatenated workload: totals add, means are
+        recomputed pair-weighted, maxima take the first strictly
+        larger part (so ``worst_pair`` matches the concatenated run's
+        first-wins argmax), and ``elapsed_s`` adds.  This is the
+        aggregation path sharded/vectorized serving uses to combine
+        per-shard results.
+
+        Raises:
+            GraphError: for an empty summary list (there is no neutral
+                ``kind``).
+        """
+        if not summaries:
+            raise GraphError("TrafficSummary.merge needs at least one part")
+        kinds = list(dict.fromkeys(s.kind for s in summaries))
+        kind = kinds[0] if len(kinds) == 1 else "+".join(kinds)
+        pairs = sum(s.pairs for s in summaries)
+        total_cost = sum(s.total_cost for s in summaries)
+        total_hops = sum(s.total_hops for s in summaries)
+        elapsed = sum(s.elapsed_s for s in summaries)
+        if pairs == 0:
+            return cls(
+                kind, 0, 0.0, 0, 0.0, 0.0, 0, 0, float("nan"),
+                float("nan"), (-1, -1), elapsed,
+            )
+        max_hops = max(s.max_hops for s in summaries)
+        max_bits = max(s.max_header_bits for s in summaries)
+        with_stretch = [
+            s for s in summaries if s.pairs and not np.isnan(s.max_stretch)
+        ]
+        mean_stretch = max_stretch = float("nan")
+        worst_pair = (-1, -1)
+        if with_stretch and len(with_stretch) == sum(
+            1 for s in summaries if s.pairs
+        ):
+            mean_stretch = (
+                sum(s.mean_stretch * s.pairs for s in with_stretch) / pairs
+            )
+            max_stretch = with_stretch[0].max_stretch
+            worst_pair = with_stretch[0].worst_pair
+            for s in with_stretch[1:]:
+                if s.max_stretch > max_stretch:
+                    max_stretch = s.max_stretch
+                    worst_pair = s.worst_pair
+        return cls(
+            kind=kind,
+            pairs=pairs,
+            total_cost=total_cost,
+            total_hops=total_hops,
+            mean_cost=total_cost / pairs,
+            mean_hops=total_hops / pairs,
+            max_hops=max_hops,
+            max_header_bits=max_bits,
+            mean_stretch=mean_stretch,
+            max_stretch=max_stretch,
+            worst_pair=worst_pair,
+            elapsed_s=elapsed,
+        )
+
     def format(self) -> str:
         """Human-readable block, as printed by the CLI."""
         lines = [
@@ -257,6 +320,7 @@ def run_workload(
     workload: Workload | Sequence[Tuple[int, int]],
     oracle: Optional[DistanceOracle] = None,
     hop_limit: Optional[int] = None,
+    engine: str = "auto",
 ) -> TrafficSummary:
     """Route a whole workload and aggregate the statistics.
 
@@ -265,6 +329,10 @@ def run_workload(
         workload: a :class:`Workload` or a raw pair list.
         oracle: ground-truth distances; enables stretch columns.
         hop_limit: forwarded to the :class:`Simulator`.
+        engine: execution engine for the batch (``"auto"`` /
+            ``"vectorized"`` / ``"python"``, see
+            :meth:`Simulator.roundtrip_many`); summaries are identical
+            across engines.
 
     Raises:
         GraphError: if any pair has ``source == destination``
@@ -282,7 +350,7 @@ def run_workload(
             )
     sim = Simulator(scheme, hop_limit=hop_limit)
     t0 = time.perf_counter()
-    traces = sim.roundtrip_many(pairs)
+    traces = sim.roundtrip_many(pairs, engine=engine)
     elapsed = time.perf_counter() - t0
     if not traces:
         return TrafficSummary(

@@ -107,6 +107,57 @@ class RTZBaselineScheme(RoutingScheme):
     def table_entries(self, vertex: int) -> int:
         return self.rtz.table_entries(vertex)
 
+    # ------------------------------------------------------------------
+    # compiled execution
+    # ------------------------------------------------------------------
+    def compile_tables(self):
+        """One substrate leg per direction; headers carry two labels
+        and a leg tag — structurally constant throughout."""
+        import numpy as np
+
+        from repro.runtime.engine import (
+            CompiledRoutes,
+            JourneyPlan,
+            Segment,
+            compile_substrate_tables,
+            constant_bits,
+        )
+        from repro.runtime.sizing import header_bits
+        from repro.rtz.routing import TO_CENTER
+
+        n = self.graph.n
+        label = self.rtz.label(0)
+        fresh = {"mode": NEW_PACKET, "dest": 0}
+        out = {
+            "mode": _OUT,
+            "dest": 0,
+            "label": label,
+            "src_label": label,
+            "leg": TO_CENTER,
+        }
+        back = dict(out)
+        back["mode"] = _BACK
+        b_fresh = header_bits(fresh, n)
+        b_out = header_bits(out, n)
+        b_ret = header_bits(self.make_return_header(out), n)
+        b_back = header_bits(back, n)
+        tables = compile_substrate_tables(self.rtz)
+
+        def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
+            batch = sources.shape[0]
+            return JourneyPlan(
+                legs=[
+                    [Segment(dests.copy(), constant_bits(b_out, batch))],
+                    [Segment(sources.copy(), constant_bits(b_back, batch))],
+                ],
+                leg_init_bits=[
+                    constant_bits(b_fresh, batch),
+                    constant_bits(b_ret, batch),
+                ],
+            )
+
+        return CompiledRoutes(self.graph, tables, planner)
+
 
 @register_scheme(
     "rtz",

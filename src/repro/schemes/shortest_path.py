@@ -78,6 +78,51 @@ class ShortestPathScheme(RoutingScheme):
     def table_entries(self, vertex: int) -> int:
         return len(self._table[vertex])
 
+    # ------------------------------------------------------------------
+    # compiled execution
+    # ------------------------------------------------------------------
+    def compile_tables(self):
+        """Dense next-hop tables: one leg per direction, headers of
+        constant shape (``mode``/``dest``/``src``)."""
+        import numpy as np
+
+        from repro.runtime.engine import (
+            CompiledRoutes,
+            DenseNextHop,
+            JourneyPlan,
+            Segment,
+            constant_bits,
+        )
+        from repro.runtime.scheme import NEW_PACKET, RETURN_PACKET
+        from repro.runtime.sizing import header_bits
+
+        n = self.graph.n
+        fresh = {"mode": NEW_PACKET, "dest": 0}
+        out = {"mode": "out", "dest": 0, "src": 0}
+        ret = dict(out)
+        ret["mode"] = RETURN_PACKET
+        back = {"mode": "back", "dest": 0, "src": 0}
+        b_fresh = header_bits(fresh, n)
+        b_out = header_bits(out, n)
+        b_ret = header_bits(ret, n)
+        b_back = header_bits(back, n)
+        tables = DenseNextHop(self._oracle.first_hop_matrix())
+
+        def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
+            batch = sources.shape[0]
+            return JourneyPlan(
+                legs=[
+                    [Segment(dests.copy(), constant_bits(b_out, batch))],
+                    [Segment(sources.copy(), constant_bits(b_back, batch))],
+                ],
+                leg_init_bits=[
+                    constant_bits(b_fresh, batch),
+                    constant_bits(b_ret, batch),
+                ],
+            )
+
+        return CompiledRoutes(self.graph, tables, planner)
+
 
 @register_scheme(
     "shortest_path",

@@ -211,6 +211,32 @@ class StretchSixScheme(RoutingScheme):
         }
 
     # ------------------------------------------------------------------
+    # compiled execution
+    # ------------------------------------------------------------------
+    def _compiled_knowledge(self):
+        """Dense planner inputs: ``knows[u, v]`` (does ``u`` hold
+        ``R3(v)`` locally, cases 1/3 of Fig. 3) and the per-source
+        dictionary-node matrix (case 2)."""
+        from repro.runtime.engine import compile_knowledge
+
+        return compile_knowledge(
+            self._metric.n,
+            (self._near, self._dict),
+            self.vertex_of,
+            self._block_ptr,
+            self.blocks.num_blocks(),
+            lambda v: self.blocks.block_of(self.name_of(v)),
+        )
+
+    def compile_tables(self):
+        """Outbound = optional dictionary segment + destination
+        segment; the header is structurally constant within each
+        (``dict_node`` is an id until the lookup, ``None`` after)."""
+        return compile_fig3_routes(
+            self, _OUTBOUND, _INBOUND, self._compiled_knowledge()
+        )
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def table_entries(self, vertex: int) -> int:
@@ -220,6 +246,83 @@ class StretchSixScheme(RoutingScheme):
             + len(self._dict[vertex])
             + self.rtz.table_entries(vertex)
         )
+
+
+def compile_fig3_routes(scheme, outbound_mode: str, inbound_mode: str, knowledge):
+    """The shared Fig. 3 journey compiler (see
+    :mod:`repro.runtime.engine`).
+
+    Both the permutation-name scheme and the wild-name variant route
+    identically — an optional dictionary segment then the destination
+    segment outbound, a single acknowledgment segment back — differing
+    only in their mode tags and in how the planner's ``knowledge``
+    matrices were keyed.
+
+    Args:
+        scheme: a built scheme exposing ``rtz``, ``graph``, and
+            ``make_return_header``.
+        outbound_mode: the scheme's outbound header mode tag.
+        inbound_mode: the scheme's inbound header mode tag.
+        knowledge: ``(knows, block_ptr, block_of_vertex)`` from
+            :func:`repro.runtime.engine.compile_knowledge`.
+    """
+    import numpy as np
+
+    from repro.runtime.engine import (
+        CompiledRoutes,
+        JourneyPlan,
+        Segment,
+        compile_substrate_tables,
+        constant_bits,
+    )
+    from repro.runtime.sizing import header_bits
+    from repro.rtz.routing import TO_CENTER
+
+    n = scheme.graph.n
+    label = scheme.rtz.label(0)
+    fresh = {"mode": NEW_PACKET, "dest": 0}
+    outbound = {
+        "mode": outbound_mode,
+        "dest": 0,
+        "src_label": label,
+        "next_label": label,
+        "dict_node": None,
+        "leg": TO_CENTER,
+    }
+    to_dict = dict(outbound)
+    to_dict["dict_node"] = 0
+    inbound = dict(outbound)
+    inbound["mode"] = inbound_mode
+    b_fresh = header_bits(fresh, n)
+    b_out = header_bits(outbound, n)
+    b_dict = header_bits(to_dict, n)
+    b_ret = header_bits(scheme.make_return_header(outbound), n)
+    b_in = header_bits(inbound, n)
+    tables = compile_substrate_tables(scheme.rtz)
+    knows, block_ptr, block_of_vertex = knowledge
+
+    def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
+        batch = sources.shape[0]
+        local = knows[sources, dests]
+        dict_node = block_ptr[sources, block_of_vertex[dests]]
+        return JourneyPlan(
+            legs=[
+                [
+                    Segment(
+                        np.where(local, -1, dict_node),
+                        constant_bits(b_dict, batch),
+                    ),
+                    Segment(dests.copy(), constant_bits(b_out, batch)),
+                ],
+                [Segment(sources.copy(), constant_bits(b_in, batch))],
+            ],
+            leg_init_bits=[
+                constant_bits(b_fresh, batch),
+                constant_bits(b_ret, batch),
+            ],
+        )
+
+    return CompiledRoutes(scheme.graph, tables, planner)
 
 
 @register_scheme(

@@ -94,6 +94,90 @@ class StretchSixViaSourceScheme(StretchSixScheme):
         out["leg"] = leg_mode
         return Forward(port, out)
 
+    # ------------------------------------------------------------------
+    # compiled execution
+    # ------------------------------------------------------------------
+    def compile_tables(self):
+        """Outbound = optional dictionary roundtrip (``s -> w -> s``)
+        plus the real trip; the fetched label rides in the header from
+        the dictionary onwards, so segment bit sizes differ between
+        the local-knowledge and dictionary journeys."""
+        import numpy as np
+
+        from repro.runtime.engine import (
+            CompiledRoutes,
+            JourneyPlan,
+            Segment,
+            compile_substrate_tables,
+            constant_bits,
+        )
+        from repro.runtime.scheme import NEW_PACKET
+        from repro.runtime.sizing import header_bits
+        from repro.rtz.routing import TO_CENTER
+
+        n = self._metric.n
+        label = self.rtz.label(0)
+        fresh = {"mode": NEW_PACKET, "dest": 0}
+        direct = {
+            "mode": _OUTBOUND,
+            "dest": 0,
+            "src_label": label,
+            "next_label": label,
+            "dict_node": None,
+            "leg": TO_CENTER,
+        }
+        to_dict = dict(direct)
+        to_dict["mode"] = _TO_DICT
+        to_dict["dict_node"] = 0
+        back_home = dict(to_dict)
+        back_home["mode"] = _BACK_HOME
+        back_home["fetched"] = label
+        fetched_out = dict(back_home)
+        fetched_out["mode"] = _OUTBOUND
+        fetched_out["dict_node"] = None
+        inbound = dict(direct)
+        inbound["mode"] = _INBOUND
+        b_fresh = header_bits(fresh, n)
+        b_direct = header_bits(direct, n)
+        b_todict = header_bits(to_dict, n)
+        b_backhome = header_bits(back_home, n)
+        b_fetched = header_bits(fetched_out, n)
+        b_in = header_bits(inbound, n)
+        b_ret_direct = header_bits(self.make_return_header(direct), n)
+        b_ret_fetched = header_bits(self.make_return_header(fetched_out), n)
+        tables = compile_substrate_tables(self.rtz)
+        knows, block_ptr, block_of_vertex = self._compiled_knowledge()
+
+        def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
+            batch = sources.shape[0]
+            local = knows[sources, dests]
+            dict_node = block_ptr[sources, block_of_vertex[dests]]
+            return JourneyPlan(
+                legs=[
+                    [
+                        Segment(
+                            np.where(local, -1, dict_node),
+                            constant_bits(b_todict, batch),
+                        ),
+                        Segment(
+                            np.where(local, -1, sources),
+                            constant_bits(b_backhome, batch),
+                        ),
+                        Segment(
+                            dests.copy(),
+                            np.where(local, b_direct, b_fetched),
+                        ),
+                    ],
+                    [Segment(sources.copy(), constant_bits(b_in, batch))],
+                ],
+                leg_init_bits=[
+                    constant_bits(b_fresh, batch),
+                    np.where(local, b_ret_direct, b_ret_fetched),
+                ],
+            )
+
+        return CompiledRoutes(self.graph, tables, planner)
+
     def _variant_start(self, at: int, header: Header) -> Header:
         dest_name = header["dest"]
         src_label = self.rtz.label(at)

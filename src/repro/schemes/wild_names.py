@@ -214,6 +214,26 @@ class WildNameStretchSix(RoutingScheme):
         }
 
     # ------------------------------------------------------------------
+    # compiled execution
+    # ------------------------------------------------------------------
+    def compile_tables(self):
+        """Identical journey shape to the permutation-name scheme —
+        only the planner's knowledge matrices are keyed through the
+        wild-name hash reduction."""
+        from repro.runtime.engine import compile_knowledge
+        from repro.schemes.stretch6 import compile_fig3_routes
+
+        knowledge = compile_knowledge(
+            self._metric.n,
+            (self._near, self._dict),
+            self._hashed.resolve,
+            self._block_ptr,
+            self.blocks.num_blocks(),
+            lambda v: self.blocks.block_of(self._hashed.slot_of_vertex(v)),
+        )
+        return compile_fig3_routes(self, _OUTBOUND, _INBOUND, knowledge)
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def table_entries(self, vertex: int) -> int:

@@ -200,3 +200,23 @@ class TestCSRGraph:
     def test_min_weight_empty_graph(self):
         csr = CSRGraph.from_digraph(Digraph(1).freeze())
         assert csr.min_weight() == float("inf")
+
+
+def test_dense_weights_match_digraph():
+    from repro.graph.csr import CSRGraph
+    from repro.graph.generators import random_strongly_connected
+
+    g = random_strongly_connected(24, rng=random.Random(5))
+    csr = CSRGraph.from_digraph(g)
+    w = csr.dense_weights()
+    assert w.shape == (g.n, g.n)
+    assert not w.flags.writeable
+    assert csr.dense_weights() is w  # cached per snapshot
+    import numpy as np
+
+    edges = 0
+    for u in range(g.n):
+        for (v, wt) in g.out_neighbors(u):
+            assert w[u, v] == wt  # exact float identity
+            edges += 1
+    assert np.isnan(w).sum() == g.n * g.n - edges

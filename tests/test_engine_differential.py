@@ -1,0 +1,344 @@
+"""Differential tests: compiled vectorized execution vs. the hop-by-hop
+Python simulator.
+
+The vectorized engine (:mod:`repro.runtime.engine`) claims *bit
+identity* with the reference simulator — same paths, same float costs,
+same hop counts, same max header bits, same aggregate summaries, same
+hop-limit behaviour.  This suite asserts that claim for every
+registered scheme, every workload kind, and two graph families, plus
+:class:`HopLimitExceeded` parity on a deliberately looping scheme.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import Network, scheme_names
+from repro.exceptions import HopLimitExceeded, RoutingError
+from repro.graph.digraph import Digraph
+from repro.runtime.engine import (
+    CompiledRoutes,
+    DenseNextHop,
+    JourneyPlan,
+    Segment,
+    constant_bits,
+)
+from repro.runtime.scheme import (
+    Decision,
+    Forward,
+    Header,
+    RoutingScheme,
+)
+from repro.runtime.simulator import Simulator
+from repro.runtime.sizing import header_bits
+from repro.runtime.traffic import (
+    WORKLOAD_KINDS,
+    generate_workload,
+    run_workload,
+)
+
+N = 32
+FAMILIES = ("random", "torus")
+PAIRS = 48
+
+#: schemes that must compile (falling back would silently weaken the
+#: differential suite to python-vs-python)
+COMPILED = {
+    "shortest_path",
+    "rtz",
+    "stretch6",
+    "stretch6_via_source",
+    "wild_names",
+}
+
+
+@pytest.fixture(scope="module", params=FAMILIES)
+def net(request) -> Network:
+    return Network.from_family(request.param, N, seed=3)
+
+
+def assert_traces_equal(py_traces, vec_traces):
+    assert len(py_traces) == len(vec_traces)
+    for a, b in zip(py_traces, vec_traces):
+        for leg_a, leg_b in (
+            (a.outbound, b.outbound),
+            (a.inbound, b.inbound),
+        ):
+            assert leg_a.path == leg_b.path
+            assert leg_a.cost == leg_b.cost  # bit-identical floats
+            assert leg_a.hops == leg_b.hops
+            assert leg_a.max_header_bits == leg_b.max_header_bits
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+@pytest.mark.parametrize("scheme_name", scheme_names())
+def test_traces_bit_identical(net, scheme_name, kind):
+    scheme = net.build_scheme(scheme_name)
+    workload = generate_workload(
+        kind, net.n, PAIRS, rng=random.Random(11), oracle=net.oracle()
+    )
+    sim = Simulator(scheme)
+    expected = "vectorized" if scheme_name in COMPILED else "python"
+    assert sim.resolve_engine("auto") == expected
+    py = sim.roundtrip_many(workload.pairs, engine="python")
+    vec = sim.roundtrip_many(workload.pairs, engine="auto")
+    assert_traces_equal(py, vec)
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+@pytest.mark.parametrize("scheme_name", sorted(COMPILED))
+def test_summaries_bit_identical(net, scheme_name, kind):
+    """TrafficSummary aggregates (incl. total_hops) match exactly."""
+    scheme = net.build_scheme(scheme_name)
+    workload = generate_workload(
+        kind, net.n, PAIRS, rng=random.Random(5), oracle=net.oracle()
+    )
+    py = run_workload(scheme, workload, oracle=net.oracle(), engine="python")
+    vec = run_workload(
+        scheme, workload, oracle=net.oracle(), engine="vectorized"
+    )
+    assert py.total_hops == vec.total_hops
+    assert py.total_cost == vec.total_cost
+    assert py.max_hops == vec.max_hops
+    assert py.max_header_bits == vec.max_header_bits
+    assert py.mean_stretch == vec.mean_stretch
+    assert py.max_stretch == vec.max_stretch
+    assert py.worst_pair == vec.worst_pair
+
+
+def test_by_name_batches_match(net):
+    scheme = net.build_scheme("stretch6")
+    sim = Simulator(scheme)
+    pairs = [(s, t) for s in range(0, 8) for t in range(8, 12)]
+    name_pairs = [(s, scheme.name_of(t)) for (s, t) in pairs]
+    py = sim.roundtrip_many(name_pairs, by_name=True, engine="python")
+    vec = sim.roundtrip_many(name_pairs, by_name=True, engine="vectorized")
+    assert_traces_equal(py, vec)
+
+
+def test_empty_batch_both_engines(net):
+    scheme = net.build_scheme("rtz")
+    sim = Simulator(scheme)
+    assert sim.roundtrip_many([], engine="python") == []
+    assert sim.roundtrip_many([], engine="vectorized") == []
+
+
+def test_strict_vectorized_rejects_uncompilable(net):
+    sim = Simulator(net.build_scheme("exstretch"))
+    with pytest.raises(RoutingError, match="does not support"):
+        sim.roundtrip_many([(0, 1)], engine="vectorized")
+
+
+def test_unknown_engine_rejected(net):
+    sim = Simulator(net.build_scheme("rtz"))
+    with pytest.raises(RoutingError, match="unknown execution engine"):
+        sim.roundtrip_many([(0, 1)], engine="warp")
+
+
+# ----------------------------------------------------------------------
+# HopLimitExceeded parity on a deliberately looping scheme
+# ----------------------------------------------------------------------
+class LoopingScheme(RoutingScheme):
+    """A scheme that bounces packets between vertices 0 and 1 forever.
+
+    Its compiled tables reproduce the same loop, so both engines must
+    diagnose it identically."""
+
+    name = "looping-stub"
+
+    def __init__(self):
+        g = Digraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 0, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(2, 3, 1.0)
+        g.add_edge(3, 0, 1.0)
+        g.freeze(port_rng=random.Random(0))
+        self._g = g
+
+    @property
+    def graph(self) -> Digraph:
+        return self._g
+
+    def name_of(self, vertex: int) -> int:
+        return vertex
+
+    def vertex_of(self, name: int) -> int:
+        return name
+
+    def forward(self, at: int, header: Header) -> Decision:
+        nxt = 1 if at == 0 else 0
+        return Forward(self._g.port_of(at, nxt), dict(header))
+
+    def table_entries(self, vertex: int) -> int:
+        return 1
+
+    def compile_tables(self) -> CompiledRoutes:
+        bits = header_bits({"mode": "new", "dest": 0}, self._g.n)
+        next_vertex = np.full((4, 4), -1, dtype=np.int64)
+        next_vertex[0, :] = 1
+        next_vertex[1, :] = 0
+
+        def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
+            batch = sources.shape[0]
+            return JourneyPlan(
+                legs=[
+                    [Segment(dests.copy(), constant_bits(bits, batch))],
+                    [Segment(sources.copy(), constant_bits(bits, batch))],
+                ],
+                leg_init_bits=[
+                    constant_bits(bits, batch),
+                    constant_bits(bits, batch),
+                ],
+            )
+
+        return CompiledRoutes(self._g, DenseNextHop(next_vertex), planner)
+
+
+@pytest.mark.parametrize("engine", ["python", "vectorized"])
+def test_hop_limit_parity_on_looping_scheme(engine):
+    sim = Simulator(LoopingScheme(), hop_limit=25)
+    assert sim.resolve_engine("auto") == "vectorized"
+    with pytest.raises(HopLimitExceeded):
+        sim.roundtrip_many([(0, 3)], engine=engine)
+
+
+def test_hop_limit_messages_match():
+    """Both engines name the offending journey the same way."""
+    sim = Simulator(LoopingScheme(), hop_limit=10)
+    messages = []
+    for engine in ("python", "vectorized"):
+        with pytest.raises(HopLimitExceeded) as exc:
+            sim.roundtrip_many([(0, 3)], engine=engine)
+        messages.append(str(exc.value))
+    assert messages[0] == messages[1]
+
+
+class InboundLoopingScheme(RoutingScheme):
+    """Delivers outbound along the chain ``0 -> ... -> 5`` but loops
+    the acknowledgment between vertices 4 and 3 forever.
+
+    Exercises leg-accurate :class:`HopLimitExceeded` reporting: the
+    failing leg is the *inbound* one, so the message must name the
+    destination as the start and the source as the expected end —
+    and in multi-pair batches the first input-order pair must win,
+    even though a later pair's budget (shorter outbound) runs out
+    sweeps earlier."""
+
+    name = "inbound-looping-stub"
+
+    def __init__(self):
+        g = Digraph(6)
+        for i in range(5):
+            g.add_edge(i, i + 1, 1.0)  # outbound chain (incl. 3 -> 4)
+        g.add_edge(5, 4, 1.0)
+        g.add_edge(4, 3, 1.0)  # closes the inbound 4 <-> 3 bounce
+        g.freeze(port_rng=random.Random(0))
+        self._g = g
+
+    @property
+    def graph(self) -> Digraph:
+        return self._g
+
+    def name_of(self, vertex: int) -> int:
+        return vertex
+
+    def vertex_of(self, name: int) -> int:
+        return name
+
+    def forward(self, at: int, header: Header) -> Decision:
+        if header["mode"] in ("new", "o"):
+            out = {"mode": "o", "dest": header["dest"]}
+            if at == header["dest"]:
+                from repro.runtime.scheme import Deliver
+
+                return Deliver(out)
+            return Forward(self._g.port_of(at, at + 1), out)
+        out = {"mode": "r", "dest": header["dest"]}
+        nxt = 4 if at in (5, 3) else 3
+        return Forward(self._g.port_of(at, nxt), out)
+
+    def table_entries(self, vertex: int) -> int:
+        return 1
+
+    def compile_tables(self) -> CompiledRoutes:
+        bits = header_bits({"mode": "new", "dest": 0}, self._g.n)
+        next_vertex = np.full((6, 6), -1, dtype=np.int64)
+        for i in range(5):
+            next_vertex[i, 5] = i + 1  # outbound chain toward 5
+        for t in range(5):  # inbound: 5 -> 4 <-> 3, never reaching t
+            next_vertex[5, t] = 4
+            next_vertex[4, t] = 3
+            next_vertex[3, t] = 4
+
+        def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
+            batch = sources.shape[0]
+            return JourneyPlan(
+                legs=[
+                    [Segment(dests.copy(), constant_bits(bits, batch))],
+                    [Segment(sources.copy(), constant_bits(bits, batch))],
+                ],
+                leg_init_bits=[
+                    constant_bits(bits, batch),
+                    constant_bits(bits, batch),
+                ],
+            )
+
+        return CompiledRoutes(self._g, DenseNextHop(next_vertex), planner)
+
+
+def test_inbound_loop_messages_name_the_failing_leg():
+    """The message must use the *leg's* endpoints (dest -> source for
+    an acknowledgment loop), matching the sequential simulator."""
+    sim = Simulator(InboundLoopingScheme(), hop_limit=15)
+    messages = []
+    for engine in ("python", "vectorized"):
+        with pytest.raises(HopLimitExceeded) as exc:
+            sim.roundtrip_many([(0, 5)], engine=engine)
+        messages.append(str(exc.value))
+    assert messages[0] == messages[1]
+    assert "from 5 to 0" in messages[0]
+
+
+def test_multi_loop_batch_raises_first_input_pair():
+    """Pair (2, 5) exhausts its budget sweeps before pair (0, 5) (its
+    outbound is shorter), but the sequential reference raises for the
+    first input-order pair — both engines must agree."""
+    sim = Simulator(InboundLoopingScheme(), hop_limit=15)
+    for engine in ("python", "vectorized"):
+        with pytest.raises(HopLimitExceeded) as exc:
+            sim.roundtrip_many([(0, 5), (2, 5)], engine=engine)
+        assert "from 5 to 0" in str(exc.value)
+
+
+def test_router_serve_workload_honors_hop_limit():
+    """The Router's hop_limit override must bind workload serving
+    exactly as it binds route()/route_many()."""
+    from repro.api.router import Router
+
+    for engine in ("python", "vectorized"):
+        router = Router(InboundLoopingScheme(), hop_limit=15, engine=engine)
+        with pytest.raises(HopLimitExceeded):
+            router.serve_workload([(0, 5)])
+
+
+def test_mixed_workload_stretch_consistency(net):
+    """End-to-end: serving through a Router on either engine yields
+    identical per-query results, and measured stretch is finite."""
+    results = {}
+    for engine in ("python", "vectorized"):
+        router = net.router("stretch6", engine=engine)
+        batch = router.route_many([(0, 9), (3, 14), (7, 2)])
+        results[engine] = [
+            (r.cost, r.hops, r.max_header_bits, r.stretch) for r in batch
+        ]
+        info = router.engine_info()
+        assert info[engine]["pairs"] == 3
+        other = "python" if engine == "vectorized" else "vectorized"
+        assert info[other]["pairs"] == 0
+    assert results["python"] == results["vectorized"]
+    assert all(math.isfinite(s) for (_, _, _, s) in results["python"])

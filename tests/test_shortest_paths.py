@@ -224,3 +224,26 @@ class TestDistanceOracle:
             assert small_oracle.d(0, p) + g.weight(p, v) == pytest.approx(
                 small_oracle.d(0, v)
             )
+
+    def test_first_hop_matrix_matches_next_hop(
+        self, small_oracle: DistanceOracle
+    ):
+        first = small_oracle.first_hop_matrix()
+        n = small_oracle.n
+        assert first.shape == (n, n)
+        for u in range(n):
+            assert first[u, u] == -1
+            for v in range(n):
+                if u != v:
+                    assert first[u, v] == small_oracle.next_hop(u, v)
+        # memoized and read-only
+        assert small_oracle.first_hop_matrix() is first
+        assert not first.flags.writeable
+
+    def test_first_hop_matrix_cycle(self):
+        g = directed_cycle(6)
+        first = DistanceOracle(g).first_hop_matrix()
+        for u in range(6):
+            for v in range(6):
+                if u != v:
+                    assert first[u, v] == (u + 1) % 6

@@ -16,6 +16,7 @@ from repro.naming.permutation import random_naming
 from repro.runtime.simulator import Simulator
 from repro.runtime.traffic import (
     WORKLOAD_KINDS,
+    TrafficSummary,
     Workload,
     adversarial_pairs,
     generate_workload,
@@ -182,6 +183,98 @@ def oracle_metric(oracle, naming):
     return RoundtripMetric(oracle, ids=naming.all_names())
 
 
+class TestSummaryMerge:
+    """Regression tests for :meth:`TrafficSummary.merge`: aggregating
+    per-part summaries must equal the stats of the concatenated
+    workload (this is the aggregation contract the vectorized serving
+    path relies on when batches are sharded)."""
+
+    def _parts(self, scheme):
+        n = scheme.graph.n
+        return [
+            uniform_pairs(n, 30, random.Random(21)),
+            hotspot_pairs(n, 25, random.Random(22)),
+            uniform_pairs(n, 17, random.Random(23)),
+        ]
+
+    def assert_merge_matches_concat(self, merged, concat):
+        assert merged.pairs == concat.pairs
+        assert merged.total_hops == concat.total_hops
+        assert merged.max_hops == concat.max_hops
+        assert merged.max_header_bits == concat.max_header_bits
+        assert merged.total_cost == pytest.approx(concat.total_cost)
+        assert merged.mean_cost == pytest.approx(concat.mean_cost)
+        assert merged.mean_hops == pytest.approx(concat.mean_hops)
+        assert merged.mean_stretch == pytest.approx(concat.mean_stretch)
+        # Per-pair stretch values are identical floats, so the argmax
+        # (first-wins) must agree exactly.
+        assert merged.max_stretch == concat.max_stretch
+        assert merged.worst_pair == concat.worst_pair
+
+    def test_merge_equals_concatenated_run(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        parts = self._parts(scheme)
+        summaries = [run_workload(scheme, p, oracle=oracle) for p in parts]
+        merged = TrafficSummary.merge(summaries)
+        concat = run_workload(
+            scheme, [pair for p in parts for pair in p], oracle=oracle
+        )
+        self.assert_merge_matches_concat(merged, concat)
+        assert merged.elapsed_s == pytest.approx(
+            sum(s.elapsed_s for s in summaries)
+        )
+
+    def test_merge_guards_vectorized_aggregation(self, sp_scheme):
+        """Vectorized per-shard runs merged == one python-engine run
+        over the concatenation."""
+        scheme, oracle = sp_scheme
+        parts = self._parts(scheme)
+        merged = TrafficSummary.merge(
+            [
+                run_workload(scheme, p, oracle=oracle, engine="vectorized")
+                for p in parts
+            ]
+        )
+        concat = run_workload(
+            scheme,
+            [pair for p in parts for pair in p],
+            oracle=oracle,
+            engine="python",
+        )
+        self.assert_merge_matches_concat(merged, concat)
+
+    def test_merge_kind_labels(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        n = scheme.graph.n
+        uni = run_workload(
+            scheme,
+            Workload("uniform", uniform_pairs(n, 5, random.Random(1))),
+            oracle,
+        )
+        hot = run_workload(
+            scheme,
+            Workload("hotspot", hotspot_pairs(n, 5, random.Random(2))),
+            oracle,
+        )
+        assert TrafficSummary.merge([uni, uni]).kind == "uniform"
+        assert TrafficSummary.merge([uni, hot]).kind == "uniform+hotspot"
+
+    def test_merge_with_empty_parts(self, sp_scheme):
+        scheme, oracle = sp_scheme
+        pairs = uniform_pairs(scheme.graph.n, 8, random.Random(3))
+        full = run_workload(scheme, pairs, oracle=oracle)
+        empty = run_workload(scheme, [], oracle)
+        merged = TrafficSummary.merge([empty, full, empty])
+        self.assert_merge_matches_concat(merged, full)
+        all_empty = TrafficSummary.merge([empty, empty])
+        assert all_empty.pairs == 0
+        assert all_empty.max_stretch != all_empty.max_stretch  # nan
+
+    def test_merge_rejects_no_parts(self):
+        with pytest.raises(GraphError):
+            TrafficSummary.merge([])
+
+
 class TestTrafficCLI:
     @pytest.mark.parametrize("workload", ["uniform", "adversarial", "mixed"])
     def test_traffic_subcommand(self, workload, capsys):
@@ -203,3 +296,26 @@ class TestTrafficCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "rtz" in out
+
+    @pytest.mark.parametrize("engine,expected", [
+        ("vectorized", "engine     : vectorized"),
+        ("python", "engine     : python"),
+        ("auto", "engine     : vectorized"),
+    ])
+    def test_traffic_engine_flag(self, engine, expected, capsys):
+        rc = main([
+            "traffic", "--n", "20", "--pairs", "30", "--scheme", "stretch6",
+            "--engine", engine,
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert expected in out
+
+    def test_traffic_strict_vectorized_rejects_uncompilable(self, capsys):
+        """exstretch carries a waypoint stack: explicit --engine
+        vectorized must exit cleanly, not crash."""
+        with pytest.raises(SystemExit, match="does not support"):
+            main([
+                "traffic", "--n", "20", "--pairs", "10",
+                "--scheme", "exstretch", "--engine", "vectorized",
+            ])
