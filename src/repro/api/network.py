@@ -309,6 +309,8 @@ class Network:
         scheme: Union[str, "RoutingScheme"],
         hop_limit: Optional[int] = None,
         engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
         **params: Any,
     ) -> "Router":
         """A routing session over one scheme of this network.
@@ -319,6 +321,10 @@ class Network:
             hop_limit: per-leg hop budget override.
             engine: execution-engine override for batched serving
                 (defaults to this network's engine knob).
+            jobs: default worker count for sharded workload serving
+                (see :meth:`repro.api.router.Router.serve_workload`).
+            executor: default shard executor (``serial`` / ``threads``
+                / ``processes``; ``None`` auto-selects per engine).
             **params: forwarded to :meth:`build_scheme` for names.
         """
         from repro.api.router import Router
@@ -330,4 +336,6 @@ class Network:
             oracle=self.oracle(),
             hop_limit=hop_limit,
             engine=engine or self._engine,
+            jobs=jobs,
+            executor=executor,
         )

@@ -25,7 +25,12 @@ from repro.graph.shortest_paths import DistanceOracle
 from repro.runtime.scheme import RoutingScheme
 from repro.runtime.simulator import RoundtripTrace, Simulator
 from repro.runtime.stats import TableReport, measure_tables
-from repro.runtime.traffic import TrafficSummary, Workload, run_workload
+from repro.runtime.traffic import (
+    TrafficSummary,
+    Workload,
+    num_shards,
+    run_workload,
+)
 
 
 @dataclass(frozen=True)
@@ -66,8 +71,9 @@ class RouterAccounting:
         tables: the scheme's table footprint (entries/bits).
         engines: per-engine serving stats in the
             :meth:`repro.api.Network.cache_info` style —
-            ``{"vectorized": {"batches", "pairs", "seconds"},
-            "python": {...}}``.
+            ``{"vectorized": {"batches", "pairs", "seconds", "shards"},
+            "python": {...}}`` (``shards`` counts the per-shard batches
+            workload serving split into; single queries count one).
     """
 
     scheme: str
@@ -95,7 +101,8 @@ class RouterAccounting:
                 lines.append(
                     f"engine          : {engine} — "
                     f"{int(s['pairs'])} pairs in {int(s['batches'])} "
-                    f"batches ({s['seconds'] * 1000:.1f} ms)"
+                    f"batches / {int(s.get('shards', 0))} shards "
+                    f"({s['seconds'] * 1000:.1f} ms)"
                 )
         return "\n".join(lines)
 
@@ -112,6 +119,11 @@ class Router:
             (``"auto"`` / ``"vectorized"`` / ``"python"``; ``"auto"``
             compiles the scheme's tables when it can and falls back to
             the hop-by-hop simulator when it cannot).
+        jobs: default worker count for sharded workload serving
+            (``None``/``1`` = serial; see
+            :func:`repro.runtime.traffic.run_workload`).
+        executor: default shard executor (``"serial"`` / ``"threads"``
+            / ``"processes"``; ``None`` auto-selects per engine).
     """
 
     def __init__(
@@ -120,19 +132,23 @@ class Router:
         oracle: Optional[DistanceOracle] = None,
         hop_limit: Optional[int] = None,
         engine: str = "auto",
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
     ):
         self._scheme = scheme
         self._oracle = oracle
         self._sim = Simulator(scheme, hop_limit=hop_limit)
         self._hop_limit = hop_limit
         self._engine = engine
+        self._jobs = jobs
+        self._executor = executor
         self._queries = 0
         self._total_cost = 0.0
         self._total_hops = 0
         self._max_header_bits = 0
         self._tables: Optional[TableReport] = None
         self._engine_stats: Dict[str, Dict[str, float]] = {
-            name: {"batches": 0, "pairs": 0, "seconds": 0.0}
+            name: {"batches": 0, "pairs": 0, "seconds": 0.0, "shards": 0}
             for name in ("vectorized", "python")
         }
 
@@ -157,11 +173,14 @@ class Router:
         resolves the session default)."""
         return self._sim.resolve_engine(engine or self._engine)
 
-    def _account_batch(self, engine: str, pairs: int, seconds: float) -> None:
+    def _account_batch(
+        self, engine: str, pairs: int, seconds: float, shards: int = 1
+    ) -> None:
         stats = self._engine_stats[engine]
         stats["batches"] += 1
         stats["pairs"] += pairs
         stats["seconds"] += seconds
+        stats["shards"] += shards
 
     def _result(self, s: int, t: int, name: int, trace: RoundtripTrace) -> RouteResult:
         cost = trace.total_cost
@@ -236,20 +255,41 @@ class Router:
         self,
         workload: Union[Workload, Sequence[Tuple[int, int]]],
         engine: Optional[str] = None,
+        shards: Optional[int] = None,
+        shard_size: Optional[int] = None,
+        jobs: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> TrafficSummary:
-        """Route a traffic workload and return the aggregate summary
-        (delegates to :func:`repro.runtime.traffic.run_workload` on the
-        resolved execution engine; the session counters absorb the
-        batch)."""
+        """Route a traffic workload and return the aggregate summary.
+
+        Delegates to :func:`repro.runtime.traffic.run_workload` on the
+        resolved execution engine; ``shards``/``shard_size``/``jobs``/
+        ``executor`` (defaulting to the session's construction-time
+        values) enable sharded parallel execution with the same
+        bit-identical-summary guarantee.  The session counters absorb
+        the batch, with the shard count recorded per engine (see
+        :meth:`engine_info`).
+        """
         resolved = self.resolve_engine(engine)
+        jobs = jobs if jobs is not None else self._jobs
+        executor = executor if executor is not None else self._executor
         summary = run_workload(
             self._scheme,
             workload,
             oracle=self._oracle,
             hop_limit=self._hop_limit,
             engine=resolved,
+            shards=shards,
+            shard_size=shard_size,
+            jobs=jobs,
+            executor=executor,
         )
-        self._account_batch(resolved, summary.pairs, summary.elapsed_s)
+        executed_shards = num_shards(
+            summary.pairs, shards=shards, shard_size=shard_size, jobs=jobs
+        )
+        self._account_batch(
+            resolved, summary.pairs, summary.elapsed_s, shards=executed_shards
+        )
         self._queries += summary.pairs
         self._total_cost += summary.total_cost
         self._total_hops += summary.total_hops
@@ -269,7 +309,9 @@ class Router:
 
     def engine_info(self) -> Dict[str, Dict[str, float]]:
         """Per-engine serving statistics (``batches`` / ``pairs`` /
-        ``seconds`` per engine, :meth:`Network.cache_info` style)."""
+        ``seconds`` / ``shards`` per engine,
+        :meth:`Network.cache_info` style; ``shards`` counts the
+        per-shard batches sharded workload serving executed)."""
         return {name: dict(s) for name, s in self._engine_stats.items()}
 
     def accounting(self) -> RouterAccounting:

@@ -37,7 +37,12 @@ from repro.api.network import ENGINES
 from repro.distributed.preprocessing import DistributedPreprocessing
 from repro.exceptions import GraphError, RoutingError
 from repro.runtime.scheme import RoutingScheme
-from repro.runtime.traffic import WORKLOAD_KINDS, generate_workload
+from repro.runtime.traffic import (
+    WORKLOAD_KINDS,
+    generate_workload,
+    num_shards,
+    resolve_executor,
+)
 
 
 def _network(args: argparse.Namespace) -> Network:
@@ -133,6 +138,10 @@ def cmd_distributed(args: argparse.Namespace) -> int:
 
 
 def cmd_traffic(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.shard_size is not None and args.shard_size < 1:
+        raise SystemExit(f"--shard-size must be >= 1, got {args.shard_size}")
     net = _network(args)
     labels = [s.strip() for s in args.scheme.split(",") if s.strip()]
     if not labels:
@@ -152,9 +161,12 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         router = net.router(scheme, engine=args.engine)
         try:
             resolved = router.resolve_engine()
-        except RoutingError as exc:
+            executor = resolve_executor(resolved, args.jobs)
+        except (GraphError, RoutingError) as exc:
             raise SystemExit(str(exc))
-        summary = router.serve_workload(workload)
+        summary = router.serve_workload(
+            workload, shard_size=args.shard_size, jobs=args.jobs
+        )
         if i:
             print()
         print(f"scheme     : {scheme.name} on {args.family} (n={net.n})")
@@ -163,6 +175,14 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         print(f"engine     : {resolved}"
               + ("  (compiled decision tables)"
                  if resolved == "vectorized" else ""))
+        if args.jobs is not None or args.shard_size is not None:
+            shards = num_shards(
+                len(workload), shard_size=args.shard_size, jobs=args.jobs
+            )
+            # A single-shard plan executes monolithically — no pool.
+            shown = executor if shards > 1 else "serial"
+            print(f"sharding   : {shards} shards, "
+                  f"jobs={args.jobs or 1} ({shown})")
         print(summary.format())
         if summary.pairs == 0:
             print("\nempty workload; nothing to route")
@@ -275,6 +295,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="traffic shape (uniform / hotspot / adversarial / mixed)",
     )
     p.add_argument("--pairs", type=int, default=1000, help="journeys to route")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel shard workers (process pool for the python "
+        "engine, threads for the vectorized engine); the summary is "
+        "bit-identical for any value",
+    )
+    p.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="pairs per shard (default: whole workload serially, "
+        "512-pair shards when --jobs is given)",
+    )
     p.add_argument(
         "--verbose-cache",
         action="store_true",

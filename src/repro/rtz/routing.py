@@ -214,6 +214,18 @@ class RTZStretch3:
         """Lemma 2's per-leg bound ``r(x, y) + d(x, y)``."""
         return self._metric.r(x, y) + self._metric.d(x, y)
 
+    def __getstate__(self):
+        """Pickle the substrate *without* its compiled step tables.
+
+        The dense :class:`~repro.runtime.engine.SubstrateStepTables`
+        cache (three ``(n, n)``-shaped arrays) is rebuilt worker-side
+        from the substrate's own structures on the first compile, so
+        process-pool shard execution never ships it.
+        """
+        state = dict(self.__dict__)
+        state.pop("_compiled_step_tables", None)
+        return state
+
     # ------------------------------------------------------------------
     # size accounting
     # ------------------------------------------------------------------

@@ -128,6 +128,21 @@ class RoutingScheme(abc.ABC):
             cached = self._compiled_routes = self.compile_tables()
         return cached
 
+    def __getstate__(self):
+        """Pickle the scheme *without* its compiled-routes cache.
+
+        :class:`~repro.runtime.engine.CompiledRoutes` holds dense
+        ``(n, n)`` decision tables and planner closures — heavy on the
+        wire and unpicklable.  Dropping the cache keeps schemes
+        pickle-cheap for process-pool shard execution
+        (:func:`repro.runtime.traffic.run_workload`): each worker
+        rehydrates the tables from its own CSR snapshot on the first
+        :meth:`compiled_routes` call.
+        """
+        state = dict(self.__dict__)
+        state.pop("_compiled_routes", None)
+        return state
+
     # ------------------------------------------------------------------
     # table accounting
     # ------------------------------------------------------------------

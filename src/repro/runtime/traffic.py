@@ -13,15 +13,24 @@ makes heavy-traffic scenarios a first-class workload:
 * :func:`run_workload`, which drives a whole workload through
   :meth:`repro.runtime.simulator.Simulator.roundtrip_many` and
   aggregates cost, stretch, hop, and header statistics into one
-  :class:`TrafficSummary`.
+  :class:`TrafficSummary`;
+* sharded parallel execution: :func:`plan_shards` splits a workload
+  into fixed-boundary chunks and :func:`run_workload` executes them
+  concurrently (``jobs=``/``executor=``), combining the per-shard
+  results through :meth:`TrafficSummary.merge`.  The shard partition
+  depends only on the workload length and the shard parameters — never
+  on ``jobs`` — so the merged summary is bit-identical across worker
+  counts and executors (see :func:`run_workload`).
 
-Exposed on the command line as ``python -m repro.cli traffic``.
+Exposed on the command line as ``python -m repro.cli traffic``
+(``--jobs`` / ``--shard-size``).
 """
 
 from __future__ import annotations
 
 import random
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +43,14 @@ from repro.runtime.simulator import Simulator
 
 #: Workload kinds understood by :func:`generate_workload`.
 WORKLOAD_KINDS = ("uniform", "hotspot", "adversarial", "mixed")
+
+#: Shard executors understood by :func:`run_workload`.
+EXECUTORS = ("serial", "threads", "processes")
+
+#: Pairs per shard when parallelism is requested (``jobs=``) without an
+#: explicit partition.  Fixed — independent of ``jobs`` — so any worker
+#: count produces the same shard boundaries, hence the same summary.
+DEFAULT_SHARD_SIZE = 512
 
 
 @dataclass(frozen=True)
@@ -143,18 +160,28 @@ def mixed_pairs(
     oracle: Optional[DistanceOracle] = None,
 ) -> List[Tuple[int, int]]:
     """A 40/40/20 uniform/hotspot/adversarial blend (the adversarial
-    share falls back to uniform when no oracle is supplied)."""
+    share falls back to uniform when no oracle is supplied).
+
+    Each component draws from its own rng stream derived from ``rng``,
+    so the blend is seed-stable: growing ``count`` extends every
+    component's pair sequence instead of perturbing it (the pairs of a
+    smaller draw are a sub-multiset of a larger draw from the same
+    seed).
+    """
     _check_args(n, count)
     rng = rng or random.Random(0)
+    uni_rng, hot_rng, adv_rng, mix_rng = (
+        random.Random(rng.getrandbits(64)) for _ in range(4)
+    )
     n_uni = (2 * count) // 5
     n_hot = (2 * count) // 5
     n_adv = count - n_uni - n_hot
-    pairs = uniform_pairs(n, n_uni, rng) + hotspot_pairs(n, n_hot, rng)
+    pairs = uniform_pairs(n, n_uni, uni_rng) + hotspot_pairs(n, n_hot, hot_rng)
     if oracle is not None:
-        pairs += adversarial_pairs(oracle, n_adv, rng)
+        pairs += adversarial_pairs(oracle, n_adv, adv_rng)
     else:
-        pairs += uniform_pairs(n, n_adv, rng)
-    rng.shuffle(pairs)
+        pairs += uniform_pairs(n, n_adv, adv_rng)
+    mix_rng.shuffle(pairs)
     return pairs
 
 
@@ -227,8 +254,10 @@ class TrafficSummary:
 
     @property
     def pairs_per_s(self) -> float:
-        """Routing throughput of the batch."""
-        return self.pairs / self.elapsed_s if self.elapsed_s > 0 else 0.0
+        """Routing throughput of the batch (``nan`` when ``elapsed_s``
+        is zero: a shard too small for ``perf_counter`` resolution is
+        unmeasurable, not zero-throughput)."""
+        return self.pairs / self.elapsed_s if self.elapsed_s > 0 else float("nan")
 
     @classmethod
     def merge(cls, summaries: Sequence["TrafficSummary"]) -> "TrafficSummary":
@@ -239,8 +268,17 @@ class TrafficSummary:
         recomputed pair-weighted, maxima take the first strictly
         larger part (so ``worst_pair`` matches the concatenated run's
         first-wins argmax), and ``elapsed_s`` adds.  This is the
-        aggregation path sharded/vectorized serving uses to combine
-        per-shard results.
+        aggregation path sharded execution uses to combine per-shard
+        results (:func:`run_workload` with ``shards=``/``jobs=``).
+
+        Stretch columns have *partial-coverage* semantics: parts
+        measured without an oracle carry ``nan`` stretch, and the merge
+        aggregates over the parts that do carry it — ``mean_stretch``
+        is pair-weighted over the covered pairs only, and
+        ``max_stretch``/``worst_pair`` take the first-wins maximum over
+        the covered parts.  Only when *no* part has stretch does the
+        merged summary report ``nan``/``(-1, -1)``, so mixing oracle
+        and oracle-less shards never silently drops measured data.
 
         Raises:
             GraphError: for an empty summary list (there is no neutral
@@ -266,11 +304,10 @@ class TrafficSummary:
         ]
         mean_stretch = max_stretch = float("nan")
         worst_pair = (-1, -1)
-        if with_stretch and len(with_stretch) == sum(
-            1 for s in summaries if s.pairs
-        ):
+        if with_stretch:
+            covered = sum(s.pairs for s in with_stretch)
             mean_stretch = (
-                sum(s.mean_stretch * s.pairs for s in with_stretch) / pairs
+                sum(s.mean_stretch * s.pairs for s in with_stretch) / covered
             )
             max_stretch = with_stretch[0].max_stretch
             worst_pair = with_stretch[0].worst_pair
@@ -308,50 +345,121 @@ class TrafficSummary:
                 f"stretch    : mean {self.mean_stretch:.3f}, "
                 f"max {self.max_stretch:.3f} at {self.worst_pair}"
             )
-        lines.append(
-            f"throughput : {self.pairs_per_s:,.0f} pairs/s "
-            f"({self.elapsed_s * 1000:.1f} ms)"
-        )
+        if np.isnan(self.pairs_per_s):
+            lines.append(
+                f"throughput : unmeasurable "
+                f"({self.elapsed_s * 1000:.1f} ms)"
+            )
+        else:
+            lines.append(
+                f"throughput : {self.pairs_per_s:,.0f} pairs/s "
+                f"({self.elapsed_s * 1000:.1f} ms)"
+            )
         return "\n".join(lines)
 
 
-def run_workload(
-    scheme: RoutingScheme,
-    workload: Workload | Sequence[Tuple[int, int]],
-    oracle: Optional[DistanceOracle] = None,
-    hop_limit: Optional[int] = None,
-    engine: str = "auto",
-) -> TrafficSummary:
-    """Route a whole workload and aggregate the statistics.
+def plan_shards(
+    total: int,
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    parallel: bool = False,
+) -> List[Tuple[int, int]]:
+    """Fixed shard boundaries ``[(lo, hi), ...]`` covering ``range(total)``.
 
-    Args:
-        scheme: the scheme under load (already constructed).
-        workload: a :class:`Workload` or a raw pair list.
-        oracle: ground-truth distances; enables stretch columns.
-        hop_limit: forwarded to the :class:`Simulator`.
-        engine: execution engine for the batch (``"auto"`` /
-            ``"vectorized"`` / ``"python"``, see
-            :meth:`Simulator.roundtrip_many`); summaries are identical
-            across engines.
+    The partition is a pure function of ``(total, shards, shard_size)``
+    — deliberately independent of the worker count — so a workload
+    executed with any ``jobs`` value aggregates the *same* per-shard
+    summaries in the same order:
+
+    * ``shards=k`` — ``min(k, total)`` contiguous chunks of balanced
+      size (the first ``total % k`` chunks hold one extra pair);
+    * ``shard_size=m`` — contiguous chunks of ``m`` pairs (last one
+      short);
+    * neither, with ``parallel=True`` — chunks of
+      :data:`DEFAULT_SHARD_SIZE`;
+    * neither, serial — one chunk (the monolithic legacy path).
 
     Raises:
-        GraphError: if any pair has ``source == destination``
-            (roundtrip stretch is undefined there).
-        RoutingError: propagated from the simulator on any failure.
+        GraphError: for ``shards``/``shard_size`` below 1, or both
+            given at once.
     """
-    if isinstance(workload, Workload):
-        kind, pairs = workload.kind, workload.pairs
-    else:
-        kind, pairs = "custom", list(workload)
-    for (s, t) in pairs:
-        if s == t:
+    if shards is not None and shard_size is not None:
+        raise GraphError("pass shards or shard_size, not both")
+    if shards is not None and shards < 1:
+        raise GraphError(f"shards must be >= 1, got {shards}")
+    if shard_size is not None and shard_size < 1:
+        raise GraphError(f"shard_size must be >= 1, got {shard_size}")
+    if total <= 0:
+        return [(0, 0)]
+    if shards is not None:
+        k = min(shards, total)
+        base, rem = divmod(total, k)
+        bounds = []
+        lo = 0
+        for i in range(k):
+            hi = lo + base + (1 if i < rem else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+    size = shard_size if shard_size is not None else (
+        DEFAULT_SHARD_SIZE if parallel else total
+    )
+    return [(lo, min(lo + size, total)) for lo in range(0, total, size)]
+
+
+def num_shards(
+    total: int,
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> int:
+    """How many shards :func:`run_workload` executes for these
+    parameters (the accounting-side view of :func:`plan_shards`,
+    keeping the ``jobs``-requests-a-partition rule in one place)."""
+    return len(plan_shards(
+        total, shards=shards, shard_size=shard_size,
+        parallel=jobs is not None,
+    ))
+
+
+def resolve_executor(
+    engine: str, jobs: Optional[int], executor: Optional[str] = None
+) -> str:
+    """The concrete shard executor :func:`run_workload` would use.
+
+    ``None`` auto-selects: ``"serial"`` for ``jobs`` of ``None``/``1``;
+    otherwise ``"processes"`` for the python engine (pure-Python
+    forwarding is GIL-bound, so real parallelism needs a process pool)
+    and ``"threads"`` for the vectorized engine (its numpy sweeps
+    release the GIL, and threads skip pickling entirely).
+
+    Raises:
+        GraphError: for an unknown executor name.
+    """
+    if executor is not None:
+        if executor not in EXECUTORS:
             raise GraphError(
-                f"traffic pairs need source != destination, got ({s}, {t})"
+                f"unknown executor {executor!r}; choose from {EXECUTORS}"
             )
-    sim = Simulator(scheme, hop_limit=hop_limit)
-    t0 = time.perf_counter()
-    traces = sim.roundtrip_many(pairs, engine=engine)
-    elapsed = time.perf_counter() - t0
+        return executor
+    if jobs is None or jobs <= 1:
+        return "serial"
+    return "processes" if engine == "python" else "threads"
+
+
+def _summarize(
+    kind: str,
+    pairs: Sequence[Tuple[int, int]],
+    traces,
+    r_matrix,
+    elapsed: float,
+) -> TrafficSummary:
+    """Aggregate one (shard's) trace batch into a :class:`TrafficSummary`.
+
+    ``r_matrix`` is the oracle's roundtrip-distance matrix (or ``None``
+    for no stretch columns); workers receive the bare matrix so the
+    process executor never ships a whole :class:`DistanceOracle`.
+    """
     if not traces:
         return TrafficSummary(
             kind, 0, 0.0, 0, 0.0, 0.0, 0, 0, float("nan"), float("nan"),
@@ -362,9 +470,9 @@ def run_workload(
     max_bits = max(t.max_header_bits for t in traces)
     mean_stretch = max_stretch = float("nan")
     worst_pair = (-1, -1)
-    if oracle is not None:
+    if r_matrix is not None:
         stretches = [
-            t.total_cost / oracle.r(s, v)
+            t.total_cost / float(r_matrix[s, v])
             for t, (s, v) in zip(traces, pairs)
         ]
         mean_stretch = sum(stretches) / len(stretches)
@@ -385,3 +493,154 @@ def run_workload(
         worst_pair=worst_pair,
         elapsed_s=elapsed,
     )
+
+
+def _execute_shard(
+    sim: Simulator,
+    engine: str,
+    kind: str,
+    pairs: Sequence[Tuple[int, int]],
+    r_matrix,
+) -> TrafficSummary:
+    """Route one shard and summarize it.  Only the routing itself is
+    timed; engine resolution/compilation happened before."""
+    t0 = time.perf_counter()
+    traces = sim.roundtrip_many(pairs, engine=engine)
+    elapsed = time.perf_counter() - t0
+    return _summarize(kind, pairs, traces, r_matrix, elapsed)
+
+
+# Process-executor worker state, installed once per worker by
+# :func:`_shard_worker_init` (via the pool initializer) so each
+# submitted shard ships only its pair chunk.
+_WORKER_CTX = None
+
+
+def _shard_worker_init(scheme, hop_limit, engine, kind, r_matrix) -> None:
+    """Per-worker setup: build the simulator and rehydrate the compiled
+    decision tables from the worker's own CSR snapshot (the pickled
+    scheme arrives without them — see
+    :meth:`repro.runtime.scheme.RoutingScheme.__getstate__`).  Compile
+    time is billed to worker startup, never to a shard's ``elapsed_s``.
+    """
+    global _WORKER_CTX
+    sim = Simulator(scheme, hop_limit=hop_limit)
+    sim.resolve_engine(engine)  # warms the compiled-routes cache
+    _WORKER_CTX = (sim, engine, kind, r_matrix)
+
+
+def _shard_worker_run(pairs: Sequence[Tuple[int, int]]) -> TrafficSummary:
+    """Execute one shard inside a pool worker."""
+    sim, engine, kind, r_matrix = _WORKER_CTX
+    return _execute_shard(sim, engine, kind, pairs, r_matrix)
+
+
+def run_workload(
+    scheme: RoutingScheme,
+    workload: Workload | Sequence[Tuple[int, int]],
+    oracle: Optional[DistanceOracle] = None,
+    hop_limit: Optional[int] = None,
+    engine: str = "auto",
+    shards: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> TrafficSummary:
+    """Route a whole workload — optionally sharded and in parallel —
+    and aggregate the statistics.
+
+    The workload is split into fixed-boundary chunks by
+    :func:`plan_shards`, each shard is routed as one batch, and the
+    per-shard summaries are combined with :meth:`TrafficSummary.merge`
+    in shard order.  Because the partition never depends on ``jobs``
+    and each shard's float summation order is fixed, the result is
+    **bit-identical across worker counts and executors** (only
+    ``elapsed_s`` — physical time — varies; it sums the per-shard
+    routing times).  One-time :meth:`RoutingScheme.compile_tables` work
+    is excluded from ``elapsed_s`` on every path, so per-shard
+    throughput is comparable across engines.
+
+    Args:
+        scheme: the scheme under load (already constructed).
+        workload: a :class:`Workload` or a raw pair list.
+        oracle: ground-truth distances; enables stretch columns.
+        hop_limit: forwarded to the :class:`Simulator`.
+        engine: execution engine for the batches (``"auto"`` /
+            ``"vectorized"`` / ``"python"``, see
+            :meth:`Simulator.roundtrip_many`); summaries are identical
+            across engines.
+        shards: split into this many balanced contiguous chunks.
+        shard_size: split into chunks of this many pairs (mutually
+            exclusive with ``shards``).  When neither is given, a
+            parallel run (``jobs=``) uses :data:`DEFAULT_SHARD_SIZE`
+            and a serial run stays monolithic.
+        jobs: worker count for parallel shard execution (``None``/``1``
+            = serial).
+        executor: ``"serial"`` / ``"threads"`` / ``"processes"``;
+            ``None`` auto-selects per :func:`resolve_executor`.  The
+            process pool ships the scheme to each worker once (pickle
+            excludes compiled tables; workers rehydrate them from their
+            own CSR snapshot) and each shard ships only its pairs.
+            Each call spins up (and tears down) its own pool, so
+            worker startup — like table compilation — is never billed
+            to ``elapsed_s``; amortize it by serving large workloads
+            per call rather than many tiny ones.
+
+    Raises:
+        GraphError: if any pair has ``source == destination``
+            (roundtrip stretch is undefined there), or for invalid
+            shard/executor parameters.
+        RoutingError: propagated from the simulator on any failure; a
+            failing journey raises the same error the serial run's
+            first (input-order) failure would, even when a later shard
+            fails faster.
+    """
+    if isinstance(workload, Workload):
+        kind, pairs = workload.kind, workload.pairs
+    else:
+        kind, pairs = "custom", list(workload)
+    for (s, t) in pairs:
+        if s == t:
+            raise GraphError(
+                f"traffic pairs need source != destination, got ({s}, {t})"
+            )
+    if jobs is not None and jobs < 1:
+        raise GraphError(f"jobs must be >= 1, got {jobs}")
+    bounds = plan_shards(
+        len(pairs), shards=shards, shard_size=shard_size,
+        parallel=jobs is not None,
+    )
+    sim = Simulator(scheme, hop_limit=hop_limit)
+    resolved = sim.resolve_engine(engine)  # compiles outside the timed region
+    # Auto-select the executor from the *resolved* engine: "auto" on a
+    # non-compilable scheme must get the process pool, not GIL-bound
+    # threads.
+    executor = resolve_executor(resolved, jobs, executor)
+    r_matrix = oracle.r_matrix if oracle is not None else None
+    if len(bounds) == 1:
+        return _execute_shard(sim, resolved, kind, pairs, r_matrix)
+    chunks = [pairs[lo:hi] for lo, hi in bounds]
+    workers = min(jobs or 1, len(chunks))
+    if executor == "serial" or workers == 1:
+        parts = [
+            _execute_shard(sim, resolved, kind, c, r_matrix) for c in chunks
+        ]
+    elif executor == "threads":
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_execute_shard, sim, resolved, kind, c, r_matrix)
+                for c in chunks
+            ]
+            # Collecting in shard order reproduces the serial run's
+            # first-failure semantics: the earliest failing shard's
+            # error surfaces, regardless of which worker failed first.
+            parts = [f.result() for f in futures]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_shard_worker_init,
+            initargs=(scheme, hop_limit, resolved, kind, r_matrix),
+        ) as pool:
+            futures = [pool.submit(_shard_worker_run, c) for c in chunks]
+            parts = [f.result() for f in futures]
+    return TrafficSummary.merge(parts)

@@ -81,6 +81,27 @@ class TestGenerators:
         for (s, t) in pairs:
             assert s != t
 
+    def test_mixed_seed_stable_across_counts(self, small_oracle):
+        """Each 40/40/20 component draws from its own rng stream, so
+        growing ``count`` extends the blend instead of reshuffling it:
+        a smaller draw is a sub-multiset of a larger same-seed draw."""
+        from collections import Counter
+
+        small = Counter(mixed_pairs(
+            small_oracle.n, 50, random.Random(9), oracle=small_oracle
+        ))
+        big = Counter(mixed_pairs(
+            small_oracle.n, 100, random.Random(9), oracle=small_oracle
+        ))
+        assert not small - big
+
+    def test_mixed_seed_stable_without_oracle(self):
+        from collections import Counter
+
+        small = Counter(mixed_pairs(30, 40, random.Random(8)))
+        big = Counter(mixed_pairs(30, 80, random.Random(8)))
+        assert not small - big
+
     @pytest.mark.parametrize("kind", WORKLOAD_KINDS)
     def test_generate_workload(self, kind, small_oracle):
         wl = generate_workload(
@@ -175,6 +196,18 @@ class TestRunWorkload:
         summary = run_workload(scheme, pairs)
         assert summary.pairs == 5
         assert summary.max_stretch != summary.max_stretch  # nan
+
+    def test_unmeasurable_elapsed_reports_nan_throughput(self):
+        """A shard below perf_counter resolution is unmeasurable, not
+        zero-throughput."""
+        import math
+
+        summary = TrafficSummary(
+            "uniform", 10, 50.0, 40, 5.0, 4.0, 7, 32, float("nan"),
+            float("nan"), (-1, -1), 0.0,
+        )
+        assert math.isnan(summary.pairs_per_s)
+        assert "unmeasurable" in summary.format()
 
 
 def oracle_metric(oracle, naming):
@@ -273,6 +306,38 @@ class TestSummaryMerge:
     def test_merge_rejects_no_parts(self):
         with pytest.raises(GraphError):
             TrafficSummary.merge([])
+
+    def test_merge_partial_stretch_coverage(self, sp_scheme):
+        """Parts measured without an oracle must not wipe the stretch
+        columns of the parts that have them: stretch aggregates
+        pair-weighted over the covered parts only."""
+        scheme, oracle = sp_scheme
+        parts = self._parts(scheme)
+        covered_a = run_workload(scheme, parts[0], oracle=oracle)
+        uncovered = run_workload(scheme, parts[1])  # nan stretch
+        covered_b = run_workload(scheme, parts[2], oracle=oracle)
+        merged = TrafficSummary.merge([covered_a, uncovered, covered_b])
+        assert merged.pairs == sum(len(p) for p in parts)
+        covered_pairs = covered_a.pairs + covered_b.pairs
+        assert merged.mean_stretch == pytest.approx(
+            (covered_a.mean_stretch * covered_a.pairs
+             + covered_b.mean_stretch * covered_b.pairs) / covered_pairs
+        )
+        expected_max = (
+            covered_a if covered_a.max_stretch >= covered_b.max_stretch
+            else covered_b
+        )
+        assert merged.max_stretch == expected_max.max_stretch
+        assert merged.worst_pair == expected_max.worst_pair
+
+    def test_merge_all_uncovered_stays_nan(self, sp_scheme):
+        scheme, _oracle = sp_scheme
+        parts = self._parts(scheme)
+        merged = TrafficSummary.merge(
+            [run_workload(scheme, p) for p in parts]
+        )
+        assert merged.max_stretch != merged.max_stretch  # nan
+        assert merged.worst_pair == (-1, -1)
 
 
 class TestTrafficCLI:
