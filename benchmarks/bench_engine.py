@@ -8,6 +8,10 @@ sweeps workload kinds and sizes for the compiled schemes, checks both
 engines agree exactly (the differential suite proves it pair-by-pair;
 here we re-check the aggregates), and asserts the headline speedup:
 **>= 5x on uniform workloads at n >= 256**.
+
+The pedantic-timed kernels are the registered ``traffic/...`` cases of
+:mod:`repro.bench.cases` — the same thunks ``repro bench`` records
+into the ``BENCH_*.json`` trajectory.
 """
 
 from __future__ import annotations
@@ -15,8 +19,9 @@ from __future__ import annotations
 import random
 import time
 
-from conftest import SMOKE, banner, cached_network
+from conftest import BENCH_CONTEXT, SMOKE, banner, cached_network
 
+from repro.bench import get_case
 from repro.runtime.traffic import generate_workload, run_workload
 
 #: the paper-level target the ISSUE sets for the compiled engine
@@ -68,14 +73,8 @@ def test_engine_across_workload_kinds(benchmark):
     if not SMOKE:
         assert all(t_py > t_vec for (_n, _k, t_py, t_vec) in rows)
 
-    scheme = net.build_scheme("stretch6")
-    wl = generate_workload(
-        "mixed", net.n, pairs, rng=random.Random(13), oracle=net.oracle()
-    )
     benchmark.pedantic(
-        lambda: run_workload(
-            scheme, wl, oracle=net.oracle(), engine="vectorized"
-        ),
+        get_case("traffic/stretch6/mixed/vectorized").setup(BENCH_CONTEXT),
         rounds=1,
         iterations=1,
     )
@@ -109,14 +108,8 @@ def test_engine_speedup_scaling(benchmark):
             f"target {TARGET_SPEEDUP}x"
         )
 
-    net = cached_network("random", 256, seed=0)
-    scheme = net.build_scheme("stretch6")
-    wl = generate_workload(
-        "uniform", net.n, 200 if SMOKE else 4000, rng=random.Random(17)
-    )
-    run_workload(scheme, wl.pairs[:4], engine="vectorized")  # warm compile
     benchmark.pedantic(
-        lambda: run_workload(scheme, wl, engine="vectorized"),
+        get_case("traffic/stretch6/uniform/vectorized").setup(BENCH_CONTEXT),
         rounds=1,
         iterations=1,
     )

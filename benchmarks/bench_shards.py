@@ -14,17 +14,21 @@ summary), and asserts the headline target: **>= 2.5x throughput at
 jobs=4 on the python engine at n >= 256** — gated on the host actually
 having >= 4 cores (and skipped in smoke mode, like every other
 size-calibrated claim).
+
+The pedantic-timed kernels are the registered ``shard/...`` cases of
+:mod:`repro.bench.cases` — the same thunks ``repro bench`` records
+into the ``BENCH_*.json`` trajectory.
 """
 
 from __future__ import annotations
 
 import math
-import os
 import random
 import time
 
-from conftest import SMOKE, banner, cached_network
+from conftest import BENCH_CONTEXT, SMOKE, banner, cached_network
 
+from repro.bench import available_cores, get_case
 from repro.runtime.traffic import generate_workload, run_workload
 
 #: the ISSUE's parallel-scaling target for the python engine
@@ -32,11 +36,7 @@ TARGET_PARALLEL_SPEEDUP = 2.5
 
 #: cores this host can actually schedule on (the speedup gate is
 #: meaningless on fewer than 4)
-CORES = (
-    len(os.sched_getaffinity(0))
-    if hasattr(os, "sched_getaffinity")
-    else (os.cpu_count() or 1)
-)
+CORES = available_cores()
 
 JOBS_SWEEP = (1, 2, 4)
 
@@ -107,10 +107,7 @@ def test_python_engine_process_scaling(benchmark):
         print(f"\n(speedup gate skipped: only {CORES} cores available)")
 
     benchmark.pedantic(
-        lambda: run_workload(
-            scheme, wl, engine="python", shards=shards,
-            jobs=min(4, CORES), executor="processes" if CORES > 1 else "serial",
-        ),
+        get_case("shard/stretch6/python/processes").setup(BENCH_CONTEXT),
         rounds=1,
         iterations=1,
     )
@@ -134,10 +131,7 @@ def test_vectorized_engine_thread_sharding(benchmark):
     assert len({_key(s) for (_j, _t, s) in rows}) == 1
 
     benchmark.pedantic(
-        lambda: run_workload(
-            scheme, wl, engine="vectorized", shards=shards,
-            jobs=min(4, CORES), executor="threads",
-        ),
+        get_case("shard/stretch6/vectorized/threads").setup(BENCH_CONTEXT),
         rounds=1,
         iterations=1,
     )

@@ -3,6 +3,10 @@
 Measures the full all-pairs stretch distribution of the Section 2
 scheme, asserts the stretch-6 bound (and stretch-3 for in-neighborhood
 destinations), and sweeps table sizes against the ``sqrt(n)`` shape.
+
+The measurement kernels of E2/E2b are the registered ``routing/...``
+cases of :mod:`repro.bench.cases` — the same thunks ``repro bench``
+records into the ``BENCH_*.json`` trajectory.
 """
 
 from __future__ import annotations
@@ -10,25 +14,21 @@ from __future__ import annotations
 import math
 import random
 
-from conftest import banner, cached_network
+from conftest import BENCH_CONTEXT, banner
 
 from repro.analysis.experiments import (
     Instance,
     log_log_slope,
     table_scaling,
 )
-from repro.analysis.stretch import stretch_distribution
+from repro.bench import get_case
 from repro.graph.generators import random_strongly_connected
 from repro.schemes.stretch6 import StretchSixScheme
 
 
 def test_stretch6_distribution(benchmark):
-    net = cached_network("random", 48, seed=0)
-    inst = net.instance()
-    scheme = net.build_scheme("stretch6", rng=random.Random(1))
-
     dist = benchmark.pedantic(
-        lambda: stretch_distribution(scheme, inst.oracle),
+        get_case("routing/stretch6/stretch_distribution").setup(BENCH_CONTEXT),
         rounds=1,
         iterations=1,
     )
@@ -45,20 +45,11 @@ def test_stretch6_distribution(benchmark):
 
 def test_stretch6_neighborhood_case(benchmark):
     """Near destinations (t in N(s)) must see stretch <= 3."""
-    net = cached_network("random", 48, seed=0)
-    inst = net.instance()
-    router = net.router(net.build_scheme("stretch6", rng=random.Random(2)))
-
-    def run():
-        worst = 0.0
-        for s in range(inst.graph.n):
-            for t in inst.metric.sqrt_neighborhood(s):
-                if t == s:
-                    continue
-                worst = max(worst, router.route(s, t).stretch)
-        return worst
-
-    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    worst = benchmark.pedantic(
+        get_case("routing/stretch6/neighborhood").setup(BENCH_CONTEXT),
+        rounds=1,
+        iterations=1,
+    )
     banner("E2b / Lemma 3 case 1 - in-neighborhood destinations")
     print(f"worst in-neighborhood stretch: {worst:.3f} (paper bound 3.0)")
     assert worst <= 3.0 + 1e-9

@@ -4,74 +4,49 @@ Each benchmark module regenerates one experiment from DESIGN.md's
 index (E1-E13): it prints the paper-style rows, asserts the paper's
 inequalities, and times the dominant kernel with pytest-benchmark.
 
-Graphs and schemes are cached per session through the
-:class:`repro.api.Network` facade: the experiments intentionally share
-instances (and the facade's artifact cache — metric, RTZ substrate,
-cover hierarchies) so the printed tables are mutually comparable and
-the suite never recomputes a substrate two benchmarks both need.
+The heavy lifting lives in :mod:`repro.bench`: the smoke-mode flag
+parsing and size clamp (:func:`repro.bench.smoke_n`) and the
+session cache of :class:`repro.api.Network` facades
+(:func:`repro.bench.cached_network`) are shared with the ``repro
+bench`` trajectory runner, so both paths measure the same instances
+and the suite never recomputes a substrate two benchmarks both need.
+The dominant kernels of the engine/shard/stretch6 modules are the
+*registered cases* of :mod:`repro.bench.cases` — pytest-benchmark
+times the exact thunk ``repro bench`` records into ``BENCH_*.json``.
 
-Smoke mode: setting ``REPRO_BENCH_SMOKE=1`` (the CI bench job does)
+Smoke mode: setting ``REPRO_BENCH_SMOKE=1`` (the CI bench jobs do)
 clamps instance sizes via :func:`bench_n` so every benchmark module
-executes end-to-end in seconds.  Size-calibrated performance
-assertions are skipped in smoke mode; correctness assertions still run.
+executes end-to-end in seconds (``false`` / ``no`` / ``off`` / ``0``
+all mean *off*).  Size-calibrated performance assertions are skipped
+in smoke mode; correctness assertions still run.
 """
 
 from __future__ import annotations
-
-import os
-import random
-from typing import Dict, Tuple
 
 import pytest
 
 from repro.analysis.experiments import Instance
 from repro.api import Network
-from repro.graph.generators import (
-    bidirected_torus,
-    directed_cycle,
-    random_dht_overlay,
-    random_strongly_connected,
-)
+from repro import bench
 
 #: True when the CI smoke job runs the suite with tiny instances.
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+SMOKE = bench.smoke_enabled()
 
-#: Instance-size ceiling applied by :func:`bench_n` in smoke mode.
-SMOKE_N = 16
+#: The context handed to registered bench cases timed by these modules
+#: (shares the process-wide network cache with :func:`cached_network`).
+BENCH_CONTEXT = bench.BenchContext(smoke=SMOKE)
 
 
 def bench_n(n: int) -> int:
-    """The benchmark size to actually use: ``n`` normally, clamped to
-    :data:`SMOKE_N` when ``REPRO_BENCH_SMOKE=1``."""
-    return min(n, SMOKE_N) if SMOKE else n
-
-
-_NETWORK_CACHE: Dict[Tuple[str, int, int], Network] = {}
+    """The benchmark size to actually use: ``n`` normally, clamped in
+    smoke mode (one shared helper with the ``repro bench`` runner)."""
+    return bench.smoke_n(n, SMOKE)
 
 
 def cached_network(kind: str, n: int, seed: int = 0) -> Network:
-    """Session-cached :class:`Network` of one family/size/seed.
-
-    All benchmarks sharing a key share one facade, hence one oracle,
-    naming, metric, and substrate set.
-    """
-    n = bench_n(n)
-    key = (kind, n, seed)
-    if key not in _NETWORK_CACHE:
-        rng = random.Random(seed + n)
-        if kind == "random":
-            g = random_strongly_connected(n, rng=rng)
-        elif kind == "cycle":
-            g = directed_cycle(n, rng=rng)
-        elif kind == "torus":
-            side = max(2, int(round(n ** 0.5)))
-            g = bidirected_torus(side, side, rng=rng)
-        elif kind == "dht":
-            g = random_dht_overlay(n, rng=rng)
-        else:
-            raise ValueError(f"unknown family {kind}")
-        _NETWORK_CACHE[key] = Network(g, seed=seed + n + 1)
-    return _NETWORK_CACHE[key]
+    """Session-cached :class:`Network` of one family/size/seed (the
+    process-wide cache the ``repro bench`` runner also draws from)."""
+    return bench.cached_network(kind, n, seed, smoke=SMOKE)
 
 
 def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:

@@ -1,0 +1,97 @@
+"""Unified benchmark subsystem: registry, runner, artifacts, comparator.
+
+The four layers:
+
+* :mod:`repro.bench.registry` — a :class:`BenchCase` per timed kernel,
+  registered with the :func:`bench_case` decorator across five axes
+  (build / apsp / routing / traffic / shard);
+* :mod:`repro.bench.runner` — :func:`run_cases` executes cases with
+  warmup + repetition control and writes versioned ``BENCH_*.json``
+  trajectory artifacts (medians, IQRs, host fingerprint);
+* :mod:`repro.bench.compare` — diffs a fresh run against the committed
+  ``benchmarks/baseline.json`` with per-case tolerance bands;
+* :mod:`repro.bench.env` — the shared smoke-mode flag parsing and size
+  clamps (``benchmarks/conftest.py`` delegates here).
+
+Surfaced on the command line as ``repro bench``.
+"""
+
+from repro.bench.compare import (
+    ABS_FLOOR_S,
+    DEFAULT_BASELINE,
+    CaseVerdict,
+    Comparison,
+    VERDICTS,
+    allowed_band_s,
+    compare_runs,
+    compare_to_baseline,
+)
+from repro.bench.env import (
+    SMOKE_N,
+    available_cores,
+    env_flag,
+    environment_fingerprint,
+    smoke_enabled,
+    smoke_n,
+)
+from repro.bench.registry import (
+    AXES,
+    BenchCase,
+    DEFAULT_TOLERANCE,
+    UnknownCaseError,
+    all_cases,
+    bench_case,
+    case_names,
+    get_case,
+    select_cases,
+)
+from repro.bench.runner import (
+    ARTIFACT_PREFIX,
+    BenchArtifactError,
+    BenchContext,
+    BenchRun,
+    CaseResult,
+    SCHEMA,
+    cached_network,
+    load_run,
+    run_cases,
+    validate_doc,
+    write_artifact,
+)
+
+__all__ = [
+    "ABS_FLOOR_S",
+    "ARTIFACT_PREFIX",
+    "AXES",
+    "BenchArtifactError",
+    "BenchCase",
+    "BenchContext",
+    "BenchRun",
+    "CaseResult",
+    "CaseVerdict",
+    "Comparison",
+    "DEFAULT_BASELINE",
+    "DEFAULT_TOLERANCE",
+    "SCHEMA",
+    "SMOKE_N",
+    "UnknownCaseError",
+    "VERDICTS",
+    "all_cases",
+    "allowed_band_s",
+    "available_cores",
+    "bench_case",
+    "cached_network",
+    "case_names",
+    "compare_runs",
+    "compare_to_baseline",
+    "env_flag",
+    "environment_fingerprint",
+    "get_case",
+    "load_run",
+    "run_cases",
+    "select_cases",
+    "smoke_enabled",
+    "smoke_n",
+    "validate_doc",
+    "write_artifact",
+]

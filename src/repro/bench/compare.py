@@ -1,0 +1,196 @@
+"""The trajectory comparator: diff a run against a committed baseline.
+
+Each case carries a relative **tolerance band**: a case regresses when
+its fresh median exceeds ``baseline_median * (1 + tolerance) +``
+:data:`ABS_FLOOR_S` (the absolute floor keeps sub-millisecond cases
+from flapping on scheduler noise).  Verdicts:
+
+* ``pass`` — within the band (faster-than-baseline always passes);
+* ``regress`` — beyond the band; ``repro bench --check`` exits nonzero;
+* ``new-case`` — the case has no baseline entry yet (recorded, never
+  fatal: adding a case must not require re-baselining atomically);
+* ``missing-baseline`` — no baseline file was found at all (every case
+  gets this verdict; the run still records a trajectory point).
+
+Re-baselining is deliberate and explicit: ``repro bench --smoke
+--rebaseline`` writes the fresh run over ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.runner import BenchArtifactError, BenchRun, load_run
+
+#: Absolute slack added on top of every relative band, in seconds.
+ABS_FLOOR_S = 0.005
+
+#: Verdicts a case comparison can produce.
+VERDICTS = ("pass", "regress", "new-case", "missing-baseline")
+
+#: Default baseline location (committed to the repo).
+DEFAULT_BASELINE = "benchmarks/baseline.json"
+
+
+def allowed_band_s(baseline_median_s: float, tolerance: float) -> float:
+    """The largest fresh median that still passes against a baseline."""
+    return baseline_median_s * (1.0 + tolerance) + ABS_FLOOR_S
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """The comparison outcome of one case."""
+
+    name: str
+    verdict: str
+    run_median_s: float
+    tolerance: float
+    baseline_median_s: Optional[float] = None
+    band_s: Optional[float] = None
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``run / baseline`` medians (``None`` without a baseline)."""
+        if self.baseline_median_s is None:
+            return None
+        if self.baseline_median_s <= 0:
+            return float("inf")
+        return self.run_median_s / self.baseline_median_s
+
+
+@dataclass
+class Comparison:
+    """A full run-vs-baseline diff."""
+
+    verdicts: List[CaseVerdict]
+    baseline_path: Optional[str] = None
+    #: baseline cases absent from this (possibly filtered) run;
+    #: informational only.
+    not_run: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CaseVerdict]:
+        return [v for v in self.verdicts if v.verdict == "regress"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether ``--check`` should exit zero."""
+        return not self.regressions
+
+    def counts(self) -> dict:
+        counts = {v: 0 for v in VERDICTS}
+        for v in self.verdicts:
+            counts[v.verdict] += 1
+        return counts
+
+    def format(self) -> str:
+        """A human-readable verdict table."""
+        lines = []
+        header = (f"{'case':<44} {'baseline':>10} {'run':>10} "
+                  f"{'ratio':>7}  verdict")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for v in self.verdicts:
+            base = ("-" if v.baseline_median_s is None
+                    else f"{v.baseline_median_s * 1000:.1f}ms")
+            ratio = "-" if v.ratio is None else f"{v.ratio:.2f}x"
+            lines.append(
+                f"{v.name:<44} {base:>10} {v.run_median_s * 1000:>8.1f}ms "
+                f"{ratio:>7}  {v.verdict}"
+            )
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[k]} {k}" for k in VERDICTS if counts[k]
+        ) or "no cases compared"
+        lines.append("")
+        if self.baseline_path is not None:
+            lines.append(f"baseline: {self.baseline_path}")
+        if self.not_run:
+            lines.append(
+                f"not run (baseline-only): {len(self.not_run)} case(s)"
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def compare_runs(run: BenchRun, baseline: Optional[BenchRun]) -> Comparison:
+    """Diff a fresh run against a loaded baseline run.
+
+    ``baseline=None`` models a missing baseline file: every case gets
+    the ``missing-baseline`` verdict and the comparison is ``ok``.
+
+    Raises:
+        BenchArtifactError: when the runs' smoke modes differ — smoke
+            (clamped-n) and full-size medians are not commensurable,
+            so banding one against the other would either trip the
+            gate spuriously or disarm it entirely.
+    """
+    if baseline is not None and run.smoke != baseline.smoke:
+        mode = "smoke" if baseline.smoke else "full-size"
+        raise BenchArtifactError(
+            f"baseline was recorded in {mode} mode but this run was not; "
+            f"re-run with {'--smoke' if baseline.smoke else 'no --smoke'} "
+            "or re-anchor the baseline with --rebaseline"
+        )
+    verdicts: List[CaseVerdict] = []
+    for result in run.results:
+        if baseline is None:
+            verdicts.append(CaseVerdict(
+                name=result.name,
+                verdict="missing-baseline",
+                run_median_s=result.median_s,
+                tolerance=result.tolerance,
+            ))
+            continue
+        base = baseline.result(result.name)
+        if base is None:
+            verdicts.append(CaseVerdict(
+                name=result.name,
+                verdict="new-case",
+                run_median_s=result.median_s,
+                tolerance=result.tolerance,
+            ))
+            continue
+        band = allowed_band_s(base.median_s, result.tolerance)
+        verdicts.append(CaseVerdict(
+            name=result.name,
+            verdict="pass" if result.median_s <= band else "regress",
+            run_median_s=result.median_s,
+            tolerance=result.tolerance,
+            baseline_median_s=base.median_s,
+            band_s=band,
+        ))
+    ran = {r.name for r in run.results}
+    not_run = ([] if baseline is None
+               else [r.name for r in baseline.results if r.name not in ran])
+    return Comparison(verdicts=verdicts, not_run=not_run)
+
+
+def compare_to_baseline(
+    run: BenchRun, baseline_path: str | Path = DEFAULT_BASELINE
+) -> Comparison:
+    """Diff a fresh run against a baseline artifact on disk.
+
+    A missing file yields ``missing-baseline`` verdicts (``ok`` stays
+    true — fresh clones must be able to record their first trajectory
+    point); a *corrupt* file raises, because silently ignoring a
+    damaged baseline would disarm the gate.
+
+    Raises:
+        BenchArtifactError: when the file exists but does not validate.
+    """
+    path = Path(baseline_path)
+    if not path.exists():
+        comparison = compare_runs(run, None)
+    else:
+        try:
+            baseline = load_run(path)
+        except BenchArtifactError as exc:
+            raise BenchArtifactError(
+                f"baseline {path} is corrupt: {exc}"
+            ) from exc
+        comparison = compare_runs(run, baseline)
+    comparison.baseline_path = str(path)
+    return comparison

@@ -1,0 +1,118 @@
+"""Benchmark environment: smoke-mode plumbing and host fingerprinting.
+
+The benchmark suite has two execution modes driven by one environment
+flag, ``REPRO_BENCH_SMOKE``:
+
+* **full** — paper-scale instance sizes; run deliberately, on a quiet
+  machine, when recording a perf trajectory point;
+* **smoke** — every instance clamped to :data:`SMOKE_N` vertices so the
+  whole suite executes end-to-end in seconds (the CI jobs run this).
+
+This module owns the flag parsing (``false`` / ``no`` / ``off`` / ``0``
+/ empty, any case, all mean *off*), the :func:`smoke_n` size clamp that
+``benchmarks/conftest.py`` and the :mod:`repro.bench.runner` share, and
+the environment fingerprint recorded into every ``BENCH_*.json``
+artifact so trajectory points from different hosts are never compared
+blindly.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, Optional
+
+#: Values (case-insensitive, after stripping) that switch a boolean
+#: environment flag *off*.  Anything else — ``1``, ``true``, ``yes``,
+#: arbitrary strings — switches it on.
+FALSY_FLAG_VALUES = frozenset({"", "0", "false", "no", "off"})
+
+#: The environment variable that selects smoke mode.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+#: Instance-size ceiling applied by :func:`smoke_n` in smoke mode.
+SMOKE_N = 16
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Parse one boolean environment flag.
+
+    Unset means ``default``; a value in :data:`FALSY_FLAG_VALUES`
+    (case-insensitive) means ``False``; anything else means ``True``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in FALSY_FLAG_VALUES
+
+
+def smoke_enabled() -> bool:
+    """Whether :data:`SMOKE_ENV` requests smoke mode."""
+    return env_flag(SMOKE_ENV)
+
+
+def smoke_n(n: int, smoke: Optional[bool] = None, ceiling: int = SMOKE_N) -> int:
+    """The instance size to actually use: ``n`` normally, clamped to
+    ``ceiling`` in smoke mode.
+
+    Args:
+        n: the full-scale size a benchmark asks for.
+        smoke: explicit mode; ``None`` reads :func:`smoke_enabled`.
+        ceiling: the smoke-mode cap (default :data:`SMOKE_N`).
+    """
+    if smoke is None:
+        smoke = smoke_enabled()
+    return min(n, ceiling) if smoke else n
+
+
+def available_cores() -> int:
+    """Cores this process can actually schedule on."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def git_sha() -> Optional[str]:
+    """The current git commit (short), or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """The host/toolchain facts stored in every benchmark artifact.
+
+    Medians are only comparable between runs whose fingerprints agree
+    on the facts that move them (cpu count, python, numpy); the
+    comparator does not enforce this, but the artifact records enough
+    to audit a suspicious trajectory point after the fact.
+    """
+    import numpy
+
+    try:
+        import scipy
+
+        scipy_version: Optional[str] = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is an optional extra
+        scipy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": available_cores(),
+        "git_sha": git_sha(),
+        "executable": sys.executable,
+    }

@@ -1,0 +1,199 @@
+"""The benchmark-case registry: one declarative spec per timed kernel.
+
+Mirrors :mod:`repro.api.registry`: every benchmark case registers
+itself with the :func:`bench_case` decorator, declaring a unique name,
+its measurement **axis** (``build`` / ``apsp`` / ``routing`` /
+``traffic`` / ``shard``), a regression tolerance, and a *setup*
+function.  Setup receives a :class:`repro.bench.runner.BenchContext`
+(which owns the shared :class:`~repro.api.Network` cache and the
+smoke-mode size clamps), does every expensive one-time preparation —
+graph generation, artifact warming, table compilation — and returns
+the zero-argument **thunk** the runner actually times.
+
+The built-in cases live in :mod:`repro.bench.cases` and are imported
+lazily on first lookup, so ``from repro.bench import all_cases`` is
+enough to see the full suite.  The per-file benchmark modules under
+``benchmarks/`` time these same registered thunks through
+pytest-benchmark, so the pytest path and ``repro bench`` share one
+source of truth for what each trajectory point measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple, TYPE_CHECKING
+
+from repro.exceptions import ConstructionError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.bench.runner import BenchContext
+
+
+class UnknownCaseError(ReproError):
+    """Raised when a benchmark-case name is not in the registry.
+
+    The message lists the registered names, so ``repro bench --filter``
+    typos are self-explaining.
+    """
+
+
+#: The measurement axes the suite covers (ordered as reported).
+AXES = ("build", "apsp", "routing", "traffic", "shard")
+
+#: Default relative tolerance band: a case regresses when its median
+#: exceeds ``baseline * (1 + tolerance)`` (plus the comparator's small
+#: absolute floor).  Generous by design — trajectory points cross
+#: machines and CI runners; the bands exist to catch order-of-magnitude
+#: collapses (a compiled engine silently falling back to python, a
+#: cache stopping to hit), not 10% jitter.
+DEFAULT_TOLERANCE = 2.0
+
+#: setup signature: ``(context) -> thunk``; the thunk is what is timed.
+CaseSetup = Callable[["BenchContext"], Callable[[], Any]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """Declarative description of one registered benchmark case.
+
+    Attributes:
+        name: unique registry key (slash-structured by convention, e.g.
+            ``traffic/stretch6/uniform/vectorized``); what ``--filter``
+            patterns match against.
+        axis: one of :data:`AXES`.
+        setup: ``(context) -> thunk``; all one-time preparation happens
+            here, outside the timed region.
+        summary: one-line description for ``repro bench --list``.
+        tolerance: relative regression band for the comparator.
+        tags: free-form labels (scheme, family, engine, ...) recorded
+            into the artifact for downstream slicing.
+    """
+
+    name: str
+    axis: str
+    setup: CaseSetup
+    summary: str = ""
+    tolerance: float = DEFAULT_TOLERANCE
+    tags: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def tag_dict(self) -> Dict[str, str]:
+        """The tags as a plain dict (artifact serialization)."""
+        return dict(self.tags)
+
+
+_REGISTRY: Dict[str, BenchCase] = {}
+
+
+def bench_case(
+    name: str,
+    axis: str,
+    summary: str = "",
+    tolerance: float = DEFAULT_TOLERANCE,
+    tags: Mapping[str, str] | Sequence[Tuple[str, str]] = (),
+) -> Callable[[CaseSetup], CaseSetup]:
+    """Decorator registering one benchmark case.
+
+    Usage (in :mod:`repro.bench.cases`)::
+
+        @bench_case("build/stretch6", axis="build",
+                    summary="stretch-6 table construction")
+        def _setup(ctx):
+            net = ctx.network("random", 96)
+            return lambda: net.build_scheme("stretch6", rng=...)
+
+    The decorated setup function is returned unchanged.
+
+    Raises:
+        ConstructionError: on duplicate names or unknown axes.
+    """
+    if axis not in AXES:
+        raise ConstructionError(
+            f"benchmark case {name!r} declares unknown axis {axis!r}; "
+            f"choose from {AXES}"
+        )
+    if tolerance < 0:
+        raise ConstructionError(
+            f"benchmark case {name!r} needs a tolerance >= 0, got {tolerance}"
+        )
+    pairs = tuple(tags.items()) if isinstance(tags, Mapping) else tuple(tags)
+
+    def decorate(setup: CaseSetup) -> CaseSetup:
+        if name in _REGISTRY:
+            raise ConstructionError(f"benchmark case {name!r} registered twice")
+        _REGISTRY[name] = BenchCase(
+            name=name,
+            axis=axis,
+            setup=setup,
+            summary=summary,
+            tolerance=tolerance,
+            tags=pairs,
+        )
+        return setup
+
+    return decorate
+
+
+def _ensure_builtin_cases() -> None:
+    """Import :mod:`repro.bench.cases` so the suite self-registers."""
+    import repro.bench.cases  # noqa: F401  (import for side effect)
+
+
+def get_case(name: str) -> BenchCase:
+    """Look up one case by exact name.
+
+    Raises:
+        UnknownCaseError: listing the registered names.
+    """
+    _ensure_builtin_cases()
+    case = _REGISTRY.get(name)
+    if case is None:
+        raise UnknownCaseError(
+            f"unknown benchmark case {name!r}; registered cases: "
+            f"{', '.join(case_names())}"
+        )
+    return case
+
+
+def case_names() -> List[str]:
+    """Sorted names of every registered case."""
+    _ensure_builtin_cases()
+    return sorted(_REGISTRY)
+
+
+def all_cases() -> List[BenchCase]:
+    """Every registered case, sorted by (axis order, name)."""
+    _ensure_builtin_cases()
+    order = {axis: i for i, axis in enumerate(AXES)}
+    return sorted(
+        _REGISTRY.values(), key=lambda c: (order[c.axis], c.name)
+    )
+
+
+def select_cases(patterns: Sequence[str] | None = None) -> List[BenchCase]:
+    """The cases matching any of ``patterns`` (all cases when empty).
+
+    A pattern is matched with :func:`fnmatch.fnmatchcase` against the
+    case name; a bare axis name (``traffic``) selects that whole axis.
+    Order follows :func:`all_cases`.
+
+    Raises:
+        UnknownCaseError: when a pattern matches nothing.
+    """
+    cases = all_cases()
+    if not patterns:
+        return cases
+    selected: List[BenchCase] = []
+    for pattern in patterns:
+        hits = [
+            c
+            for c in cases
+            if c.axis == pattern or fnmatchcase(c.name, pattern)
+        ]
+        if not hits:
+            raise UnknownCaseError(
+                f"benchmark filter {pattern!r} matches no case; "
+                f"registered cases: {', '.join(case_names())}"
+            )
+        selected.extend(h for h in hits if h not in selected)
+    return selected

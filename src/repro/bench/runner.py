@@ -1,0 +1,414 @@
+"""The benchmark runner: contexts, timed execution, and artifacts.
+
+:class:`BenchContext` owns everything a case setup needs — the shared
+session cache of :class:`~repro.api.Network` facades (one per
+family/size/seed, also used by ``benchmarks/conftest.py`` so the
+pytest-benchmark path and ``repro bench`` share instances), the
+smoke-mode size clamps, and workload generation.
+
+:func:`run_cases` executes registered cases with warmup + repetition
+control and records per-case medians and interquartile ranges;
+:func:`write_artifact` serializes the resulting :class:`BenchRun` —
+including the host fingerprint from
+:func:`repro.bench.env.environment_fingerprint` — into a versioned
+``BENCH_<timestamp>.json`` trajectory artifact that
+:mod:`repro.bench.compare` diffs against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import Network
+from repro.bench.env import (
+    SMOKE_N,
+    environment_fingerprint,
+    smoke_enabled,
+    smoke_n,
+)
+from repro.bench.registry import BenchCase
+from repro.exceptions import ReproError
+from repro.graph.generators import (
+    bidirected_torus,
+    directed_cycle,
+    random_dht_overlay,
+    random_strongly_connected,
+)
+from repro.runtime.traffic import Workload, generate_workload
+
+#: Artifact schema tag; bump on any incompatible layout change.
+SCHEMA = "repro-bench/1"
+
+#: Artifact filename prefix (the CI job uploads ``BENCH_*.json``).
+ARTIFACT_PREFIX = "BENCH_"
+
+#: Default repetition counts: smoke runs trade precision for latency.
+DEFAULT_REPEATS = 5
+SMOKE_REPEATS = 3
+DEFAULT_WARMUP = 1
+
+
+class BenchArtifactError(ReproError):
+    """Raised for malformed benchmark artifacts (wrong schema tag,
+    missing keys, non-numeric samples...)."""
+
+
+# ----------------------------------------------------------------------
+# shared Network cache (the old benchmarks/conftest.py cache, promoted)
+# ----------------------------------------------------------------------
+
+_NETWORK_CACHE: Dict[Tuple[str, int, int], Network] = {}
+
+
+def build_family_graph(kind: str, n: int, seed: int = 0):
+    """One benchmark graph of a family/size/seed (deterministic)."""
+    rng = random.Random(seed + n)
+    if kind == "random":
+        return random_strongly_connected(n, rng=rng)
+    if kind == "cycle":
+        return directed_cycle(n, rng=rng)
+    if kind == "torus":
+        side = max(2, int(round(n ** 0.5)))
+        return bidirected_torus(side, side, rng=rng)
+    if kind == "dht":
+        return random_dht_overlay(n, rng=rng)
+    raise ReproError(f"unknown benchmark graph family {kind!r}")
+
+
+def cached_network(
+    kind: str, n: int, seed: int = 0, smoke: Optional[bool] = None
+) -> Network:
+    """Session-cached :class:`Network` of one family/size/seed.
+
+    All benchmark consumers sharing a key — registered cases and the
+    ``benchmarks/`` pytest modules alike — share one facade, hence one
+    oracle, naming, metric, and substrate set.  ``n`` is clamped by
+    :func:`repro.bench.env.smoke_n` before keying, so smoke and full
+    runs never mix instances.
+    """
+    n = smoke_n(n, smoke)
+    key = (kind, n, seed)
+    if key not in _NETWORK_CACHE:
+        _NETWORK_CACHE[key] = Network(
+            build_family_graph(kind, n, seed), seed=seed + n + 1
+        )
+    return _NETWORK_CACHE[key]
+
+
+class BenchContext:
+    """What a case setup gets handed: sizes, networks, workloads.
+
+    Args:
+        smoke: clamp instance sizes for an end-to-end-in-seconds run
+            (``None`` reads ``REPRO_BENCH_SMOKE``).
+        seed: master seed forwarded to network construction.
+    """
+
+    def __init__(self, smoke: Optional[bool] = None, seed: int = 0):
+        self.smoke = smoke_enabled() if smoke is None else bool(smoke)
+        self.seed = seed
+
+    def n(self, full: int, ceiling: int = SMOKE_N) -> int:
+        """Instance size: ``full`` normally, clamped in smoke mode."""
+        return smoke_n(full, self.smoke, ceiling)
+
+    def count(self, full: int, smoke: int) -> int:
+        """A workload/repetition count: ``full`` or its smoke value."""
+        return smoke if self.smoke else full
+
+    def network(self, kind: str, n: int, seed: Optional[int] = None) -> Network:
+        """The shared cached network for one family/size."""
+        return cached_network(
+            kind, n, self.seed if seed is None else seed, self.smoke
+        )
+
+    def workload(
+        self,
+        kind: str,
+        net: Network,
+        pairs: int,
+        smoke_pairs: int = 200,
+        seed: int = 13,
+    ) -> Workload:
+        """A deterministic workload sized for the current mode."""
+        return generate_workload(
+            kind,
+            net.n,
+            self.count(pairs, smoke_pairs),
+            rng=random.Random(seed),
+            oracle=net.oracle(),
+        )
+
+
+# ----------------------------------------------------------------------
+# timed execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """The measurement record of one executed case."""
+
+    name: str
+    axis: str
+    tags: Dict[str, str]
+    tolerance: float
+    warmup: int
+    samples_s: Tuple[float, ...]
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_s)
+
+    @property
+    def iqr_s(self) -> float:
+        """Interquartile range of the samples (0 for fewer than 2)."""
+        if len(self.samples_s) < 2:
+            return 0.0
+        q = statistics.quantiles(self.samples_s, n=4, method="inclusive")
+        return q[2] - q[0]
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples_s)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "axis": self.axis,
+            "tags": dict(self.tags),
+            "tolerance": self.tolerance,
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "samples_s": list(self.samples_s),
+            "median_s": self.median_s,
+            "iqr_s": self.iqr_s,
+            "min_s": self.min_s,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "CaseResult":
+        return cls(
+            name=doc["name"],
+            axis=doc["axis"],
+            tags=dict(doc.get("tags", {})),
+            tolerance=float(doc["tolerance"]),
+            warmup=int(doc["warmup"]),
+            samples_s=tuple(float(s) for s in doc["samples_s"]),
+        )
+
+
+@dataclass
+class BenchRun:
+    """One full benchmark run: configuration, environment, results."""
+
+    created: str
+    smoke: bool
+    seed: int
+    env: Dict[str, Any]
+    results: List[CaseResult] = field(default_factory=list)
+
+    def result(self, name: str) -> Optional[CaseResult]:
+        for r in self.results:
+            if r.name == name:
+                return r
+        return None
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "created": self.created,
+            "smoke": self.smoke,
+            "seed": self.seed,
+            "env": dict(self.env),
+            "results": [r.to_doc() for r in self.results],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "BenchRun":
+        validate_doc(doc)
+        return cls(
+            created=doc["created"],
+            smoke=bool(doc["smoke"]),
+            seed=int(doc["seed"]),
+            env=dict(doc["env"]),
+            results=[CaseResult.from_doc(r) for r in doc["results"]],
+        )
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def run_cases(
+    cases: Sequence[BenchCase],
+    context: Optional[BenchContext] = None,
+    repeats: Optional[int] = None,
+    warmup: int = DEFAULT_WARMUP,
+    progress: Optional[Callable[[CaseResult], None]] = None,
+) -> BenchRun:
+    """Execute registered cases and collect a :class:`BenchRun`.
+
+    Each case's setup runs once (outside the timed region — artifact
+    warming and table compilation belong there), its thunk runs
+    ``warmup`` unrecorded times, then ``repeats`` timed times.
+
+    Args:
+        cases: the cases to run (see
+            :func:`repro.bench.registry.select_cases`).
+        context: sizes/caches; default context reads the smoke flag
+            from the environment.
+        repeats: timed repetitions per case (default
+            :data:`SMOKE_REPEATS` in smoke mode, :data:`DEFAULT_REPEATS`
+            otherwise).
+        warmup: unrecorded repetitions per case.
+        progress: called with each :class:`CaseResult` as it lands
+            (the CLI prints a line per case).
+    """
+    context = context or BenchContext()
+    if repeats is None:
+        repeats = SMOKE_REPEATS if context.smoke else DEFAULT_REPEATS
+    if repeats < 1:
+        raise ReproError(f"bench repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ReproError(f"bench warmup must be >= 0, got {warmup}")
+    run = BenchRun(
+        created=_utcnow(),
+        smoke=context.smoke,
+        seed=context.seed,
+        env=environment_fingerprint(),
+    )
+    for case in cases:
+        thunk = case.setup(context)
+        for _ in range(warmup):
+            thunk()
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            thunk()
+            samples.append(time.perf_counter() - t0)
+        result = CaseResult(
+            name=case.name,
+            axis=case.axis,
+            tags=case.tag_dict(),
+            tolerance=case.tolerance,
+            warmup=warmup,
+            samples_s=tuple(samples),
+        )
+        run.results.append(result)
+        if progress is not None:
+            progress(result)
+    return run
+
+
+# ----------------------------------------------------------------------
+# artifact io
+# ----------------------------------------------------------------------
+
+
+def artifact_filename(created: str) -> str:
+    """``BENCH_<timestamp>.json`` for one run's creation time."""
+    stamp = "".join(ch for ch in created if ch.isalnum())
+    return f"{ARTIFACT_PREFIX}{stamp}.json"
+
+
+def write_artifact(run: BenchRun, out_dir: str | Path = ".") -> Path:
+    """Write a run's versioned JSON artifact; returns its path.
+
+    The directory is created if needed; an existing artifact of the
+    same timestamp is never overwritten (a numeric suffix is added).
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / artifact_filename(run.created)
+    counter = 1
+    while path.exists():
+        path = out / artifact_filename(f"{run.created}-{counter}")
+        counter += 1
+    path.write_text(run.to_json())
+    return path
+
+
+def validate_doc(doc: Any) -> None:
+    """Check one artifact document against the ``repro-bench/1`` schema.
+
+    Raises:
+        BenchArtifactError: describing the first violation found.
+    """
+
+    def fail(msg: str) -> None:
+        raise BenchArtifactError(f"invalid benchmark artifact: {msg}")
+
+    if not isinstance(doc, dict):
+        fail(f"expected a JSON object, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"schema tag {doc.get('schema')!r} != {SCHEMA!r}")
+    for key, kind in (
+        ("created", str),
+        ("smoke", bool),
+        ("seed", int),
+        ("env", dict),
+        ("results", list),
+    ):
+        if not isinstance(doc.get(key), kind):
+            fail(f"field {key!r} missing or not a {kind.__name__}")
+    seen = set()
+    for i, r in enumerate(doc["results"]):
+        where = f"results[{i}]"
+        if not isinstance(r, dict):
+            fail(f"{where} is not an object")
+        for key, kind in (
+            ("name", str),
+            ("axis", str),
+            ("tags", dict),
+            ("samples_s", list),
+        ):
+            if not isinstance(r.get(key), kind):
+                fail(f"{where}.{key} missing or not a {kind.__name__}")
+        for key in ("tolerance", "median_s", "iqr_s", "min_s"):
+            value = r.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or not math.isfinite(value):
+                fail(f"{where}.{key} missing or not a finite number")
+        warmup = r.get("warmup")
+        if not isinstance(warmup, int) or isinstance(warmup, bool) or warmup < 0:
+            fail(f"{where}.warmup missing or not an integer >= 0")
+        if not r["samples_s"] or not all(
+            isinstance(s, (int, float)) and not isinstance(s, bool)
+            and math.isfinite(s) and s >= 0
+            for s in r["samples_s"]
+        ):
+            fail(f"{where}.samples_s must be non-empty finite numbers >= 0")
+        if r["name"] in seen:
+            fail(f"duplicate case name {r['name']!r}")
+        seen.add(r["name"])
+
+
+def load_run(path: str | Path) -> BenchRun:
+    """Load and validate one artifact file.
+
+    Raises:
+        BenchArtifactError: for unreadable files or schema violations.
+    """
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BenchArtifactError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchArtifactError(f"{path} is not valid JSON: {exc}") from exc
+    return BenchRun.from_doc(doc)
