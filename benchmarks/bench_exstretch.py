@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 
-from conftest import banner, cached_network
+from conftest import banner, cached_instance, cached_network
 
 from repro.analysis.stretch import stretch_distribution
 from repro.runtime.sizing import log2_squared
@@ -18,7 +18,7 @@ from repro.runtime.stats import measure_stretch, measure_tables
 
 def test_exstretch_tradeoff(benchmark):
     net = cached_network("random", 64, seed=0)
-    inst = net.instance()
+    inst = cached_instance("random", 64, seed=0)
     n = inst.graph.n
     rows = {}
 
@@ -50,7 +50,7 @@ def test_exstretch_tradeoff(benchmark):
 def test_exstretch_lemma8_ladder(benchmark):
     """Lemma 8: r(v_i, v_{i+1}) <= 2^i r(s, t) along the waypoints."""
     net = cached_network("random", 64, seed=0)
-    inst = net.instance()
+    inst = cached_instance("random", 64, seed=0)
     n = inst.graph.n
     scheme = net.build_scheme("exstretch", k=3, rng=random.Random(5))
     naming, metric = inst.naming, inst.metric

@@ -9,14 +9,14 @@ from __future__ import annotations
 
 import random
 
-from conftest import banner, cached_network
+from conftest import banner, cached_instance, cached_network
 
 from repro.runtime.stats import measure_stretch, measure_tables
 
 
 def test_polystretch_tradeoff(benchmark):
     net = cached_network("random", 48, seed=0)
-    inst = net.instance()
+    inst = cached_instance("random", 48, seed=0)
     n = inst.graph.n
     rows = {}
 

@@ -9,15 +9,14 @@ from __future__ import annotations
 import math
 import random
 
-from conftest import banner, cached_instance, cached_network
+from conftest import banner, cached_instance
 
 from repro.graph.shortest_paths import path_length
 from repro.rtz.routing import shared_substrate
 
 
 def test_lemma2_leg_bounds(benchmark):
-    net = cached_network("random", 48, seed=0)
-    inst = net.instance()
+    inst = cached_instance("random", 48, seed=0)
     n = inst.graph.n
     rtz = shared_substrate(inst.metric, random.Random(1))
     g = inst.graph

@@ -23,11 +23,18 @@ in smoke mode; correctness assertions still run.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.analysis.experiments import Instance
-from repro.api import Network
-from repro import bench
+# Benchmarks measure true build costs: a warm on-disk store would turn
+# every "construction" timing into an mmap load.  Keep the suite
+# hermetic (store-axis cases use explicit temporary stores instead).
+os.environ.setdefault("REPRO_STORE", "off")
+
+from repro.analysis.experiments import Instance  # noqa: E402
+from repro.api import Network  # noqa: E402
+from repro import bench  # noqa: E402
 
 #: True when the CI smoke job runs the suite with tiny instances.
 SMOKE = bench.smoke_enabled()
@@ -52,7 +59,8 @@ def cached_network(kind: str, n: int, seed: int = 0) -> Network:
 def cached_instance(kind: str, n: int, seed: int = 0) -> Instance:
     """Session-cached experiment instance (the legacy view of
     :func:`cached_network`'s shared artifacts)."""
-    return cached_network(kind, n, seed).instance()
+    net = cached_network(kind, n, seed)
+    return Instance(net.graph, net.oracle(), net.naming(), net.metric())
 
 
 @pytest.fixture(scope="session")

@@ -1,20 +1,38 @@
 """Unified Python API: scheme registry, network facade, router.
 
-The three layers:
+The layers:
 
 * :mod:`repro.api.registry` — every scheme in :mod:`repro.schemes`
   registers a :class:`SchemeSpec` (name, builder, parameter schema,
   stretch bound) with :func:`register_scheme`;
-* :mod:`repro.api.network` — :class:`Network` owns one frozen graph
-  and lazily builds-and-caches the shared preprocessing artifacts
+* :mod:`repro.api.artifacts` — every shared preprocessing artifact
   (oracle, naming, metric, RTZ substrate, cover hierarchies, wild-name
-  reduction), so building several schemes on one graph computes each
-  artifact exactly once;
+  reduction) registers an :class:`ArtifactSpec` (builder, parameter
+  schema, cache label, store serialization) with
+  :func:`register_artifact`;
+* :mod:`repro.api.network` — :class:`Network` owns one frozen graph
+  and serves artifacts through a two-tier cache (memory, then the
+  content-addressed on-disk store of :mod:`repro.store`), so building
+  several schemes on one graph computes each artifact exactly once —
+  and a second process on the same graph computes it zero times;
 * :mod:`repro.api.router` — :class:`Router` serves single and batched
   roundtrip queries against a built scheme, with per-session
-  accounting.
+  accounting;
+* :mod:`repro.api.stats` — the unified ``as_dict()``/``format()``
+  statistics family (:class:`NetworkStats`, :class:`RouterStats`,
+  :class:`SessionStats`) behind the legacy ``cache_info()`` /
+  ``engine_info()`` shims.
 """
 
+from repro.api.artifacts import (
+    ArtifactSpec,
+    UnknownArtifactError,
+    all_artifact_specs,
+    artifact_kinds,
+    get_artifact_spec,
+    register_artifact,
+    storable_artifact_specs,
+)
 from repro.api.network import ENGINES, Network
 from repro.api.registry import (
     ParamSpec,
@@ -26,6 +44,13 @@ from repro.api.registry import (
     scheme_names,
 )
 from repro.api.router import RouteResult, Router, RouterAccounting
+from repro.api.stats import (
+    ArtifactCacheStats,
+    NetworkStats,
+    RouterStats,
+    SessionStats,
+    StoreStats,
+)
 
 __all__ = [
     "ENGINES",
@@ -40,4 +65,16 @@ __all__ = [
     "get_spec",
     "scheme_names",
     "all_specs",
+    "ArtifactSpec",
+    "UnknownArtifactError",
+    "register_artifact",
+    "get_artifact_spec",
+    "artifact_kinds",
+    "all_artifact_specs",
+    "storable_artifact_specs",
+    "ArtifactCacheStats",
+    "NetworkStats",
+    "RouterStats",
+    "SessionStats",
+    "StoreStats",
 ]

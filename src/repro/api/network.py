@@ -25,17 +25,21 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from typing import Any, Dict, Optional, TYPE_CHECKING, Union
 
+from repro.api.artifacts import DEFAULT_UNIVERSE, get_artifact_spec
 from repro.api.registry import get_spec, scheme_names  # noqa: F401
+from repro.api.stats import ArtifactCacheStats, NetworkStats
 from repro.exceptions import GraphError
 from repro.graph.digraph import Digraph
 from repro.graph.generators import standard_families
 from repro.graph.roundtrip import RoundtripMetric
 from repro.graph.shortest_paths import DistanceOracle
-from repro.naming.hashing import HashedNaming, random_wild_names
-from repro.naming.permutation import Naming, random_naming
-from repro.rtz.routing import RTZStretch3, shared_substrate
+from repro.naming.hashing import HashedNaming
+from repro.naming.permutation import Naming
+from repro.rtz.routing import RTZStretch3
+from repro.store import ArtifactStore, default_store
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guards
     from repro.analysis.experiments import Instance
@@ -47,9 +51,6 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guards
 
 #: engines understood by :class:`DistanceOracle`
 ENGINES = ("auto", "vectorized", "python")
-
-#: default wild-name universe (48-bit identifiers, as in E18)
-DEFAULT_UNIVERSE = 2 ** 48
 
 
 class Network:
@@ -64,12 +65,27 @@ class Network:
             both the :class:`DistanceOracle` build and the execution
             engine routers serve batched traffic with (see
             :mod:`repro.runtime.engine`).
+        store: the persistence tier beneath the in-memory cache.
+            ``"auto"`` (the default) resolves
+            :func:`repro.store.default_store` on every lookup, so the
+            environment (``REPRO_STORE`` / ``REPRO_CACHE_DIR``) and
+            :func:`repro.store.store_override` take effect without
+            rebuilding the network; an explicit
+            :class:`~repro.store.ArtifactStore` pins one; ``None``
+            disables persistence for this network.
 
     Raises:
-        GraphError: for an unfrozen graph or unknown engine.
+        GraphError: for an unfrozen graph, unknown engine, or invalid
+            store argument.
     """
 
-    def __init__(self, graph: Digraph, seed: int = 0, engine: str = "auto"):
+    def __init__(
+        self,
+        graph: Digraph,
+        seed: int = 0,
+        engine: str = "auto",
+        store: Union[str, ArtifactStore, None] = "auto",
+    ):
         if not graph.frozen:
             raise GraphError(
                 "Network requires a frozen graph; call graph.freeze() first"
@@ -78,9 +94,14 @@ class Network:
             raise GraphError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
             )
+        if store != "auto" and store is not None and not isinstance(store, ArtifactStore):
+            raise GraphError(
+                f"store must be 'auto', None, or an ArtifactStore, got {store!r}"
+            )
         self._graph = graph
         self._seed = seed
         self._engine = engine
+        self._store_mode = store
         self._cache: Dict[str, Any] = {}
         self._stats: Dict[str, Dict[str, float]] = {}
 
@@ -94,6 +115,7 @@ class Network:
         n: int,
         seed: int = 0,
         engine: str = "auto",
+        store: Union[str, ArtifactStore, None] = "auto",
     ) -> "Network":
         """Build a network over one of the standard graph families.
 
@@ -103,6 +125,7 @@ class Network:
             n: approximate graph size (grid families round).
             seed: master seed (also seeds the generator).
             engine: distance-oracle engine.
+            store: persistence tier (see the constructor).
 
         Raises:
             GraphError: for an unknown family (choices listed).
@@ -112,7 +135,7 @@ class Network:
             raise GraphError(
                 f"unknown family {family!r}; choose from {sorted(families)}"
             )
-        return cls(families[family], seed=seed, engine=engine)
+        return cls(families[family], seed=seed, engine=engine, store=store)
 
     # ------------------------------------------------------------------
     # identity
@@ -148,13 +171,26 @@ class Network:
         return random.Random(f"{self._seed}|{tag}|{suffix}")
 
     # ------------------------------------------------------------------
-    # artifact cache
+    # artifact cache (two tiers: memory -> store -> build-and-persist)
     # ------------------------------------------------------------------
-    def _artifact(self, label: str, build) -> Any:
-        """Serve ``label`` from the cache, building (and timing) once."""
-        stats = self._stats.setdefault(
-            label, {"builds": 0, "hits": 0, "seconds": 0.0}
+    def resolved_store(self) -> Optional[ArtifactStore]:
+        """The store tier currently in effect for this network (see the
+        ``store`` constructor argument), or ``None`` when persistence
+        is off."""
+        if self._store_mode == "auto":
+            return default_store()
+        return self._store_mode
+
+    def _counters(self, label: str) -> Dict[str, float]:
+        return self._stats.setdefault(
+            label, {"builds": 0, "hits": 0, "store_hits": 0, "seconds": 0.0}
         )
+
+    def _artifact(self, label: str, build) -> Any:
+        """Serve ``label`` from the in-memory cache, building (and
+        timing) once — the memory-only path used for scheme builds and
+        unregistered artifacts."""
+        stats = self._counters(label)
         if label in self._cache:
             stats["hits"] += 1
             return self._cache[label]
@@ -165,34 +201,93 @@ class Network:
         self._cache[label] = value
         return value
 
+    def artifact(self, kind: str, **params: Any) -> Any:
+        """Serve a registered artifact through the two-tier lookup.
+
+        Resolution order: the in-memory cache (``hits``), then — for
+        storable kinds with the store enabled — the content-addressed
+        on-disk store (``store_hits``), then a cold build (``builds``)
+        whose result is persisted for every later process.  A store
+        entry that passes its checksum but fails to deserialize (a
+        schema bug) is quarantined and rebuilt, never fatal.
+
+        Args:
+            kind: registry kind (see
+                :func:`repro.api.artifacts.artifact_kinds`).
+            **params: artifact parameters, validated against the spec.
+
+        Raises:
+            UnknownArtifactError: for kinds not in the registry.
+            ConstructionError: for invalid parameters.
+        """
+        spec = get_artifact_spec(kind)
+        resolved = spec.validate_params(params)
+        label = spec.cache_label(resolved)
+        stats = self._counters(label)
+        if label in self._cache:
+            stats["hits"] += 1
+            return self._cache[label]
+        store = self.resolved_store() if spec.storable else None
+        key = spec.store_key(self, resolved) if store is not None else None
+        if store is not None:
+            entry = store.get(key)
+            if entry is not None:
+                try:
+                    value = spec.load(self, entry)
+                except Exception:
+                    # checksum-valid but undeserializable: quarantine
+                    # for post-mortem and fall through to a rebuild
+                    store.quarantine(key)
+                else:
+                    stats["store_hits"] += 1
+                    self._cache[label] = value
+                    return value
+        t0 = time.perf_counter()
+        value = spec.build(self, resolved)
+        elapsed = time.perf_counter() - t0
+        stats["seconds"] += elapsed
+        stats["builds"] += 1
+        self._cache[label] = value
+        if store is not None:
+            arrays, meta = spec.dump(value)
+            store.put(key, arrays, meta=meta, build_seconds=elapsed)
+        return value
+
+    def stats(self) -> NetworkStats:
+        """Consolidated statistics: per-label artifact counters plus
+        the store tier's counters (the :mod:`repro.api.stats` protocol:
+        ``as_dict()`` / ``format()``)."""
+        store = self.resolved_store()
+        return NetworkStats(
+            cache=ArtifactCacheStats.from_counters(self._stats),
+            store=None if store is None else store.stats(),
+        )
+
     def cache_info(self) -> Dict[str, Dict[str, float]]:
-        """Per-artifact cache statistics: ``builds``, ``hits``, and
-        construction ``seconds`` keyed by artifact label."""
+        """Per-artifact cache statistics: ``builds``, ``hits``,
+        ``store_hits``, and construction ``seconds`` keyed by artifact
+        label.
+
+        .. deprecated:: thin shim kept for back-compat; new code should
+           use :meth:`stats` (the unified dataclass family).
+        """
         return {label: dict(s) for label, s in self._stats.items()}
 
     # ------------------------------------------------------------------
-    # shared artifacts
+    # shared artifacts (delegating accessors over the registry)
     # ------------------------------------------------------------------
     def oracle(self) -> DistanceOracle:
         """The all-pairs distance oracle (built with this network's
         engine)."""
-        return self._artifact(
-            "oracle", lambda: DistanceOracle(self._graph, engine=self._engine)
-        )
+        return self.artifact("oracle")
 
     def naming(self) -> Naming:
         """The adversarial random naming derived from the master seed."""
-        return self._artifact(
-            "naming",
-            lambda: random_naming(self.n, random.Random(self._seed)),
-        )
+        return self.artifact("naming")
 
     def metric(self) -> RoundtripMetric:
         """The roundtrip metric, tie-broken by the naming's names."""
-        return self._artifact(
-            "metric",
-            lambda: RoundtripMetric(self.oracle(), ids=self.naming().all_names()),
-        )
+        return self.artifact("metric")
 
     def rtz(self, center_count: Optional[int] = None) -> RTZStretch3:
         """The shared Lemma 2 stretch-3 substrate.
@@ -201,59 +296,46 @@ class Network:
         one instance (also deduplicated process-wide by landmark set
         via :func:`repro.rtz.routing.shared_substrate`).
         """
-        label = "rtz" if center_count is None else f"rtz[centers={center_count}]"
-        return self._artifact(
-            label,
-            lambda: shared_substrate(
-                self.metric(),
-                self.derive_rng("rtz", {"centers": center_count}),
-                center_count=center_count,
-            ),
-        )
+        return self.artifact("rtz", center_count=center_count)
 
     def hierarchy(self, k: int) -> "TreeHierarchy":
         """The Theorem 13 double-tree cover hierarchy for parameter
         ``k`` (shared by ExStretch's spanner and PolynomialStretch)."""
-        from repro.covers.hierarchy import TreeHierarchy
-
-        return self._artifact(
-            f"hierarchy[k={k}]", lambda: TreeHierarchy(self.metric(), k)
-        )
+        return self.artifact("hierarchy", k=k)
 
     def spanner(self, k: int) -> "HandshakeSpanner":
         """The Lemma 5 handshake spanner for parameter ``k``."""
-        from repro.rtz.spanner import HandshakeSpanner
-
-        return self._artifact(
-            f"spanner[k={k}]",
-            lambda: HandshakeSpanner(self.metric(), k, hierarchy=self.hierarchy(k)),
-        )
+        return self.artifact("spanner", k=k)
 
     def cover(self, k: int, scale: float) -> "DoubleTreeCover":
         """One Theorem 13 cover at an explicit scale."""
-        from repro.covers.sparse_cover import DoubleTreeCover
-
-        return self._artifact(
-            f"cover[k={k},scale={scale}]",
-            lambda: DoubleTreeCover(self.metric(), k, float(scale)),
-        )
+        return self.artifact("cover", k=k, scale=scale)
 
     def hashed_naming(self, universe: int = DEFAULT_UNIVERSE) -> HashedNaming:
         """The §1.1.2 wild-name reduction: adversarial wild names drawn
         from ``universe``, hashed after the fact."""
-
-        def build() -> HashedNaming:
-            rng = self.derive_rng("wild", {"universe": universe})
-            wild = random_wild_names(self.n, universe, rng)
-            return HashedNaming(wild, universe, rng)
-
-        return self._artifact(f"hashed[universe={universe}]", build)
+        return self.artifact("hashed_naming", universe=universe)
 
     def instance(self) -> "Instance":
         """The legacy :class:`~repro.analysis.experiments.Instance`
         view (graph + oracle + naming + metric), served from the
         artifact cache — the bridge for analysis code that predates the
-        facade."""
+        facade.
+
+        .. deprecated:: construct
+           :class:`~repro.analysis.experiments.Instance` from the
+           artifact accessors (``Instance(net.graph, net.oracle(),
+           net.naming(), net.metric())``) or go through
+           :meth:`build_scheme` / :meth:`artifact`; this bridge will be
+           removed in a future release.
+        """
+        warnings.warn(
+            "Network.instance() is deprecated and will be removed; build "
+            "Instance(net.graph, net.oracle(), net.naming(), net.metric()) "
+            "directly or use build_scheme()/artifact()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from repro.analysis.experiments import Instance
 
         return self._artifact(

@@ -19,7 +19,16 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
 from repro.graph.shortest_paths import DistanceOracle
 from repro.runtime.scheme import RoutingScheme
@@ -31,6 +40,9 @@ from repro.runtime.traffic import (
     num_shards,
     run_workload,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.stats import RouterStats
 
 
 @dataclass(frozen=True)
@@ -307,11 +319,23 @@ class Router:
             self._tables = measure_tables(self._scheme)
         return self._tables
 
+    def stats(self) -> "RouterStats":
+        """Per-engine serving statistics as a
+        :class:`repro.api.stats.RouterStats` (the unified
+        ``as_dict()``/``format()`` protocol)."""
+        from repro.api.stats import RouterStats
+
+        return RouterStats.from_counters(self._engine_stats)
+
     def engine_info(self) -> Dict[str, Dict[str, float]]:
         """Per-engine serving statistics (``batches`` / ``pairs`` /
         ``seconds`` / ``shards`` per engine,
         :meth:`Network.cache_info` style; ``shards`` counts the
-        per-shard batches sharded workload serving executed)."""
+        per-shard batches sharded workload serving executed).
+
+        .. deprecated:: thin shim kept for back-compat; new code should
+           use :meth:`stats`.
+        """
         return {name: dict(s) for name, s in self._engine_stats.items()}
 
     def accounting(self) -> RouterAccounting:

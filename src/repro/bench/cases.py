@@ -12,7 +12,12 @@ Each case names one kernel the repo's perf story depends on:
 * **traffic** — whole-workload batched execution across schemes ×
   workload shapes × engines × families;
 * **shard** — parallel sharded execution across executors and job
-  counts.
+  counts;
+* **store** — the on-disk artifact store's warm-start path: cold
+  build-and-persist versus rehydrating the same artifact from a warm
+  store (each case owns an explicit temporary
+  :class:`~repro.store.ArtifactStore`, so the runner's cold-mode
+  override of the *ambient* store does not affect it).
 
 Sizes mirror the pytest-benchmark modules under ``benchmarks/`` (which
 time these same registered thunks), and every count is routed through
@@ -23,6 +28,7 @@ finishes in seconds.
 from __future__ import annotations
 
 import random
+import tempfile
 
 from repro.bench.registry import DEFAULT_TOLERANCE, bench_case
 from repro.bench.runner import BenchContext
@@ -284,3 +290,62 @@ _register_shard_case(
     "shard/stretch6/vectorized/threads", "vectorized", "threads", jobs=4,
     pairs=4000, shards=8, seed=29, tolerance=3.0,
 )
+
+
+# ----------------------------------------------------------------------
+# store axis: cold build-and-persist vs warm mmap rehydration
+# ----------------------------------------------------------------------
+
+def _temp_store():
+    """A fresh bounded-lifetime store rooted under the system tmpdir
+    (explicit instance: unaffected by the runner's cold-mode override
+    of the ambient default store)."""
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(tempfile.mkdtemp(prefix="repro-bench-store-"))
+
+
+def _register_store_case(name: str, kind: str, warm: bool, n: int = 96):
+    mode = "warm rehydration from" if warm else "cold build-and-persist into"
+
+    @bench_case(
+        name,
+        axis="store",
+        summary=f"{kind} {mode} a temporary artifact store (random, n={n})",
+        # Disk + mmap latencies jitter more across hosts than pure
+        # compute; the band still catches a warm path degrading into a
+        # silent rebuild (orders of magnitude, not percent).
+        tolerance=3.0,
+        tags={"artifact": kind, "mode": "warm" if warm else "cold",
+              "family": "random"},
+    )
+    def _setup(ctx: BenchContext):
+        from repro.api import Network
+        from repro.bench.runner import build_family_graph
+
+        store = _temp_store()
+        size = ctx.n(n)
+        graph = build_family_graph("random", size, ctx.seed)
+        seed = ctx.seed + size + 1
+
+        if warm:
+            Network(graph, seed=seed, store=store).artifact(kind)
+
+            def run():
+                # A fresh facade each repetition: nothing in memory,
+                # everything answered by the store tier.
+                return Network(graph, seed=seed, store=store).artifact(kind)
+        else:
+
+            def run():
+                store.clear()
+                return Network(graph, seed=seed, store=store).artifact(kind)
+
+        return run
+
+    return _setup
+
+
+_register_store_case("store/oracle/cold_build", "oracle", warm=False)
+_register_store_case("store/oracle/warm_load", "oracle", warm=True)
+_register_store_case("store/rtz/warm_load", "rtz", warm=True)

@@ -17,6 +17,7 @@ including the host fingerprint from
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import random
@@ -110,11 +111,40 @@ class BenchContext:
         smoke: clamp instance sizes for an end-to-end-in-seconds run
             (``None`` reads ``REPRO_BENCH_SMOKE``).
         seed: master seed forwarded to network construction.
+        store: ``"cold"`` (default) runs every case under
+            :func:`repro.store.store_override` with the ambient on-disk
+            store disabled, so build/apsp cases measure true cold
+            constructions even when the invoking shell has a warm
+            ``~/.cache/repro``; ``"warm"`` leaves the environment's
+            store resolution in place.  Store-axis cases always use
+            explicit temporary stores and measure the same thing in
+            either mode.
     """
 
-    def __init__(self, smoke: Optional[bool] = None, seed: int = 0):
+    def __init__(
+        self,
+        smoke: Optional[bool] = None,
+        seed: int = 0,
+        store: str = "cold",
+    ):
         self.smoke = smoke_enabled() if smoke is None else bool(smoke)
         self.seed = seed
+        if store not in ("cold", "warm"):
+            raise ReproError(
+                f"BenchContext store mode must be 'cold' or 'warm', "
+                f"got {store!r}"
+            )
+        self.store = store
+
+    def store_guard(self):
+        """The context manager :func:`run_cases` holds around each
+        case (setup + warmup + timing): disables the ambient store in
+        ``cold`` mode, a no-op in ``warm`` mode."""
+        if self.store == "cold":
+            from repro.store import store_override
+
+            return store_override(None)
+        return contextlib.nullcontext()
 
     def n(self, full: int, ceiling: int = SMOKE_N) -> int:
         """Instance size: ``full`` normally, clamped in smoke mode."""
@@ -294,14 +324,15 @@ def run_cases(
         env=environment_fingerprint(),
     )
     for case in cases:
-        thunk = case.setup(context)
-        for _ in range(warmup):
-            thunk()
-        samples = []
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            thunk()
-            samples.append(time.perf_counter() - t0)
+        with context.store_guard():
+            thunk = case.setup(context)
+            for _ in range(warmup):
+                thunk()
+            samples = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                thunk()
+                samples.append(time.perf_counter() - t0)
         result = CaseResult(
             name=case.name,
             axis=case.axis,

@@ -20,6 +20,7 @@ exactly once.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 import time
@@ -27,6 +28,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.experiments import (
+    Instance,
     assert_rows_sound,
     fig1_comparison,
     format_rows,
@@ -35,6 +37,7 @@ from repro.analysis.stretch import stretch_distribution
 from repro.analysis.tables import breakdown
 from repro.api import Network, UnknownSchemeError, all_specs, get_spec
 from repro.api.network import ENGINES
+from repro.api.stats import SessionStats
 from repro.distributed.preprocessing import DistributedPreprocessing
 from repro.exceptions import GraphError, ReproError, RoutingError
 from repro.runtime.scheme import RoutingScheme
@@ -44,10 +47,31 @@ from repro.runtime.traffic import (
     num_shards,
     resolve_executor,
 )
+from repro.store import (
+    CACHE_DIR_ENV,
+    STORE_ENV,
+    default_store,
+    format_bytes,
+    parse_size,
+)
+
+
+def _configure_store(args: argparse.Namespace) -> None:
+    """Apply ``--cache-dir`` / ``--no-store`` before any network is
+    built: the store resolves its configuration from the environment,
+    so the flags translate to the same variables a shell would set."""
+    if getattr(args, "cache_dir", None):
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+        # an explicit root is an explicit opt-in, even under
+        # REPRO_STORE=off (the test suite's hermetic default)
+        os.environ[STORE_ENV] = "1"
+    if getattr(args, "no_store", False):
+        os.environ[STORE_ENV] = "off"
 
 
 def _network(args: argparse.Namespace) -> Network:
     """The shared facade for one CLI invocation."""
+    _configure_store(args)
     try:
         return Network.from_family(
             args.family,
@@ -57,6 +81,12 @@ def _network(args: argparse.Namespace) -> Network:
         )
     except GraphError as exc:
         raise SystemExit(str(exc))
+
+
+def _instance(net: Network) -> Instance:
+    """The analysis-layer :class:`Instance` view, assembled from the
+    artifact accessors (``Network.instance()`` is deprecated)."""
+    return Instance(net.graph, net.oracle(), net.naming(), net.metric())
 
 
 def _build_scheme(
@@ -80,7 +110,7 @@ def cmd_fig1(args: argparse.Namespace) -> int:
         seed=args.seed + 1,
         sample_pairs=args.pairs,
         k=args.k,
-        instance=net.instance(),
+        instance=_instance(net),
     )
     print(format_rows(rows))
     assert_rows_sound(rows)
@@ -155,11 +185,13 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         oracle=net.oracle(),
     )
     failures = 0
+    routers = []
     for i, label in enumerate(labels):
         t0 = time.perf_counter()
         scheme, bound = _build_scheme(net, label, args)
         build_s = time.perf_counter() - t0
         router = net.router(scheme, engine=args.engine)
+        routers.append(router)
         try:
             resolved = router.resolve_engine()
             executor = resolve_executor(resolved, args.jobs)
@@ -193,10 +225,8 @@ def cmd_traffic(args: argparse.Namespace) -> int:
             print(f"EXCEEDED the claimed stretch bound {bound:.1f}")
             failures += 1
     if len(labels) > 1 or args.verbose_cache:
-        print("\nshared artifact cache:")
-        for artifact, s in sorted(net.cache_info().items()):
-            print(f"  {artifact:<24} builds={int(s['builds'])} "
-                  f"hits={int(s['hits'])} ({s['seconds'] * 1000:.1f} ms)")
+        print()
+        print(SessionStats.collect(net, routers).format())
     return 1 if failures else 0
 
 
@@ -295,13 +325,62 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    _configure_store(args)
+    store = default_store()
+    if store is None:
+        raise SystemExit(
+            "the artifact store is disabled (REPRO_STORE is falsy); "
+            "unset it or pass --cache-dir"
+        )
+    if args.store_command == "ls":
+        entries = list(store.entries())
+        print(f"store at {store.root}")
+        if not entries:
+            print("(empty)")
+            return 0
+        header = f"{'kind':<18} {'digest':<14} {'size':>10}  {'build':>9}"
+        print(header)
+        print("-" * len(header))
+        for e in entries:
+            manifest = e.load_manifest() or {}
+            built = float(manifest.get("build_seconds", 0.0))
+            print(f"{e.kind:<18} {e.digest[:12]:<14} "
+                  f"{format_bytes(e.nbytes):>10}  {built * 1000:>6.1f} ms")
+        print(f"{len(entries)} entries, "
+              f"{format_bytes(store.total_bytes())} total")
+        return 0
+    if args.store_command == "verify":
+        ok, corrupt = store.verify()
+        print(f"{ok} entries verified, {len(corrupt)} quarantined")
+        for e in corrupt:
+            print(f"  quarantined: {e.kind}/{e.digest[:12]}")
+        return 1 if corrupt else 0
+    if args.store_command == "gc":
+        bound = None if args.max_bytes is None else parse_size(args.max_bytes)
+        if bound is None and store.max_bytes is None:
+            raise SystemExit(
+                "gc needs a size bound: pass --max-bytes or set "
+                "REPRO_STORE_MAX_BYTES"
+            )
+        evicted = store.gc(bound)
+        print(f"evicted {evicted} entries; "
+              f"{format_bytes(store.total_bytes())} remain")
+        return 0
+    if args.store_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} files from {store.root}")
+        return 0
+    raise SystemExit(f"unknown store command {args.store_command!r}")
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
     net = _network(args)
     print(generate_report(net.graph, seed=args.seed + 1,
                           sample_pairs=args.pairs, k=args.k,
-                          instance=net.instance()))
+                          instance=_instance(net)))
     return 0
 
 
@@ -332,6 +411,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="distance-oracle and routing-execution engine "
             "(auto / vectorized / python); traffic executes its "
             "workload through this engine",
+        )
+        store_opts(p)
+
+    def store_opts(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="artifact-store root (default: $REPRO_CACHE_DIR, else "
+            "~/.cache/repro); an explicit root also enables the store "
+            "when REPRO_STORE is off",
+        )
+        p.add_argument(
+            "--no-store",
+            action="store_true",
+            help="disable the on-disk artifact store for this run "
+            "(equivalent to REPRO_STORE=off)",
         )
 
     p = sub.add_parser("fig1", help="regenerate the Fig. 1 table")
@@ -405,6 +501,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_schemes)
 
     p = sub.add_parser(
+        "store", help="inspect and manage the on-disk artifact store"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    sp = store_sub.add_parser("ls", help="list the store's entries")
+    store_opts(sp)
+    sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "verify",
+        help="re-checksum every entry; corrupt ones are quarantined "
+        "and the exit status is nonzero",
+    )
+    store_opts(sp)
+    sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a bound"
+    )
+    store_opts(sp)
+    sp.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="size bound (accepts K/M/G suffixes, e.g. 512M); "
+        "default: $REPRO_STORE_MAX_BYTES",
+    )
+    sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "clear", help="delete every entry (including quarantined files)"
+    )
+    store_opts(sp)
+    sp.set_defaults(func=cmd_store)
+
+    p = sub.add_parser(
         "bench",
         help="run the registered benchmark suite and record a "
         "BENCH_*.json trajectory artifact",
@@ -414,7 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="PATTERN",
         help="run only matching cases (fnmatch on the case name, or a "
-        "bare axis: build/apsp/routing/traffic/shard); repeatable",
+        "bare axis: build/apsp/routing/traffic/shard/store); repeatable",
     )
     p.add_argument(
         "--smoke",

@@ -33,6 +33,18 @@ class ConstructionError(ReproError):
     (e.g. invalid parameter ``k``, empty center set)."""
 
 
+class StoreError(ReproError):
+    """Raised for on-disk artifact-store failures (unreadable cache
+    directories, malformed manifests, checksum mismatches).
+
+    Ordinary cache corruption is *not* surfaced through this class at
+    lookup time: :class:`repro.store.ArtifactStore` quarantines the bad
+    entry and reports a miss so callers transparently rebuild.  The
+    exception covers misuse (unwritable roots, invalid keys) where no
+    silent recovery exists.
+    """
+
+
 class RoutingError(ReproError):
     """Raised when packet forwarding fails at runtime.
 

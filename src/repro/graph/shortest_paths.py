@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 import weakref
 from typing import Dict, List, Sequence, Tuple
 
@@ -229,6 +230,51 @@ class DistanceOracle:
         if g.frozen:
             _ORACLE_CACHE[g] = weakref.ref(self)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        g: Digraph,
+        d: np.ndarray,
+        parent: np.ndarray,
+        engine: str = "vectorized",
+    ) -> "DistanceOracle":
+        """Rehydrate an oracle from stored matrices, skipping the APSP.
+
+        This is the artifact-store load path
+        (:mod:`repro.api.artifacts`): ``d`` and ``parent`` come straight
+        out of a memory-mapped ``.npz`` blob, so the distance matrix is
+        shared read-only between every process that loads the entry.
+        The roundtrip matrix is derived with the same ``d + d.T`` the
+        constructor uses, and ``parent`` rows are converted to the
+        plain-list form the path walkers expect — a rehydrated oracle is
+        bit-identical to a fresh build (asserted in
+        ``tests/test_store.py``).
+
+        Args:
+            g: the digraph the matrices were built from.
+            d: ``(n, n)`` float64 one-way distance matrix.
+            parent: ``(n, n)`` integer forward-tree parent matrix.
+            engine: the engine recorded at build time (provenance only;
+                no computation is engine-dependent here).
+        """
+        n = g.n
+        d = np.asarray(d, dtype=np.float64)
+        parent = np.asarray(parent)
+        if d.shape != (n, n) or parent.shape != (n, n):
+            raise GraphError(
+                f"stored oracle arrays have shapes {d.shape}/{parent.shape}, "
+                f"expected ({n}, {n})"
+            )
+        self = cls.__new__(cls)
+        self._g = g
+        self._engine = str(engine)
+        self._d = d
+        self._parent = parent.tolist()
+        self._r = self._d + self._d.T
+        if g.frozen:
+            _ORACLE_CACHE[g] = weakref.ref(self)
+        return self
+
     @property
     def graph(self) -> Digraph:
         """The underlying digraph."""
@@ -308,6 +354,13 @@ class DistanceOracle:
         cached = getattr(self, "_first_hop", None)
         if cached is not None:
             return cached
+        store, store_key = self._first_hop_store_key()
+        if store is not None:
+            entry = store.get(store_key)
+            if entry is not None and entry.arrays["first"].shape == (self.n, self.n):
+                self._first_hop = entry.arrays["first"]
+                return self._first_hop
+        t0 = time.perf_counter()
         n = self.n
         parent = np.asarray(self._parent, dtype=np.int32)
         rows = np.arange(n, dtype=np.int32)[:, None]
@@ -327,7 +380,31 @@ class DistanceOracle:
         np.fill_diagonal(first, -1)
         first.flags.writeable = False
         self._first_hop = first
+        if store is not None:
+            store.put(
+                store_key,
+                {"first": first},
+                meta={"engine": self._engine},
+                build_seconds=time.perf_counter() - t0,
+            )
         return first
+
+    def _first_hop_store_key(self):
+        """``(store, key)`` for the persisted first-hop matrix, or
+        ``(None, None)`` when persistence is off or the graph is not
+        frozen.  The key is engine- and seed-free: the matrix is a pure
+        function of the (content-hashed) graph."""
+        if not self._g.frozen:
+            return None, None
+        from repro.store import StoreKey, default_store, graph_content_hash
+
+        store = default_store()
+        if store is None:
+            return None, None
+        key = StoreKey(
+            "first-hop", 1, {"graph": graph_content_hash(self._g)}
+        )
+        return store, key
 
     def diameter(self) -> float:
         """One-way diameter ``max d(u, v)``."""

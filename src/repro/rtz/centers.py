@@ -69,14 +69,51 @@ class CenterAssignment:
             )
             self._home.append(best)
             self._r_to_a.append(metric.r(v, best))
-        # cluster membership: u in C(v) iff r(u, v) < r(v, A)
-        self._clusters: List[Set[int]] = []
-        for v in range(n):
-            bound = self._r_to_a[v]
-            members = {
-                u for u in range(n) if u != v and metric.r(u, v) < bound - 1e-12
-            }
-            self._clusters.append(members)
+        # cluster membership is O(n^2) to enumerate and only needed on
+        # the build path (direct tables, size accounting); computed
+        # lazily so store-rehydrated assignments never pay for it
+        self._clusters: Optional[List[Set[int]]] = None
+
+    @classmethod
+    def restore(
+        cls,
+        metric: RoundtripMetric,
+        centers: Sequence[int],
+        home: Sequence[int],
+        r_to_a: Sequence[float],
+    ) -> "CenterAssignment":
+        """Rehydrate an assignment from stored arrays (the artifact
+        store's load path), skipping the per-vertex center scan.
+
+        ``home``/``r_to_a`` must be what the constructor would have
+        computed for ``(metric, centers)``; clusters stay lazy and are
+        re-derived from the metric if ever requested.
+        """
+        if len(centers) == 0:
+            raise ConstructionError("landmark set A must be non-empty")
+        self = cls.__new__(cls)
+        self._metric = metric
+        self.centers = sorted(set(int(c) for c in centers))
+        self._home = [int(h) for h in home]
+        self._r_to_a = [float(r) for r in r_to_a]
+        self._clusters = None
+        return self
+
+    def _cluster_sets(self) -> List[Set[int]]:
+        """``C(v)`` for every ``v``: ``u in C(v)`` iff ``r(u, v) <
+        r(v, A)`` (lazily computed, cached)."""
+        if self._clusters is None:
+            metric = self._metric
+            clusters: List[Set[int]] = []
+            for v in range(metric.n):
+                bound = self._r_to_a[v]
+                clusters.append({
+                    u
+                    for u in range(metric.n)
+                    if u != v and metric.r(u, v) < bound - 1e-12
+                })
+            self._clusters = clusters
+        return self._clusters
 
     @property
     def metric(self) -> RoundtripMetric:
@@ -93,19 +130,19 @@ class CenterAssignment:
 
     def cluster(self, v: int) -> Set[int]:
         """``C(v)``: vertices with a direct route to ``v``."""
-        return set(self._clusters[v])
+        return set(self._cluster_sets()[v])
 
     def in_cluster(self, u: int, v: int) -> bool:
         """Whether ``u`` may route directly to ``v``."""
-        return u in self._clusters[v]
+        return u in self._cluster_sets()[v]
 
     def max_cluster_size(self) -> int:
         """Largest ``|C(v)|`` (drives the direct-table bound)."""
-        return max(len(c) for c in self._clusters)
+        return max(len(c) for c in self._cluster_sets())
 
     def mean_cluster_size(self) -> float:
         """Average ``|C(v)|``."""
-        return sum(len(c) for c in self._clusters) / self._metric.n
+        return sum(len(c) for c in self._cluster_sets()) / self._metric.n
 
     def verify_cluster_path_closure(self) -> None:
         """Assert the closure property direct routing relies on: for
@@ -117,9 +154,10 @@ class CenterAssignment:
         so ``r(x,v) <= r(u,v) < r(v,A)``.)
         """
         oracle = self._metric.oracle
+        clusters = self._cluster_sets()
         for v in range(self._metric.n):
-            for u in self._clusters[v]:
+            for u in clusters[v]:
                 for x in oracle.path(u, v)[1:-1]:
-                    assert x in self._clusters[v], (
+                    assert x in clusters[v], (
                         f"closure violated: {x} on path {u}->{v} not in C({v})"
                     )

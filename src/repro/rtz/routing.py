@@ -32,6 +32,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import TableLookupError
 from repro.graph.roundtrip import RoundtripMetric
 from repro.graph.shortest_paths import dijkstra
@@ -214,6 +216,92 @@ class RTZStretch3:
         """Lemma 2's per-leg bound ``r(x, y) + d(x, y)``."""
         return self._metric.r(x, y) + self._metric.d(x, y)
 
+    # ------------------------------------------------------------------
+    # artifact-store serialization
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the substrate into store arrays.
+
+        The arrays capture exactly the parts whose reconstruction is
+        expensive or rng-dependent: the landmark set, the home-center
+        assignment, and the two table families that needed shortest-path
+        computations (in-tree successors from the reverse Dijkstras,
+        direct next-hop ports from the cluster scan).  Out-trees and
+        labels are *not* serialized — :meth:`from_arrays` re-derives
+        them from the oracle's canonical forward trees, which is cheap
+        and deterministic.
+        """
+        g = self._metric.oracle.graph
+        n = g.n
+        centers = self.assignment.centers
+        in_succ = np.full((len(centers), n), -1, dtype=np.int64)
+        for idx, c in enumerate(centers):
+            tree = self._in_trees[c]
+            for v in range(n):
+                port = tree.next_port(v) if v != c else None
+                if port is not None:
+                    in_succ[idx, v] = g.head_of_port(v, port)
+        direct_u: List[int] = []
+        direct_v: List[int] = []
+        direct_port: List[int] = []
+        for u in range(n):
+            for v, port in sorted(self._direct[u].items()):
+                direct_u.append(u)
+                direct_v.append(v)
+                direct_port.append(port)
+        return {
+            "centers": np.asarray(centers, dtype=np.int64),
+            "home": np.asarray(self.assignment._home, dtype=np.int64),
+            "r_to_a": np.asarray(self.assignment._r_to_a, dtype=np.float64),
+            "in_succ": in_succ,
+            "direct_u": np.asarray(direct_u, dtype=np.int64),
+            "direct_v": np.asarray(direct_v, dtype=np.int64),
+            "direct_port": np.asarray(direct_port, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, metric: RoundtripMetric, arrays: Dict[str, np.ndarray]
+    ) -> "RTZStretch3":
+        """Rehydrate a substrate from :meth:`to_arrays` output.
+
+        Skips every shortest-path computation the constructor performs
+        (the reverse Dijkstras and the O(n^2) cluster scan); only the
+        cheap deterministic derivations (out-tree DFS numbering,
+        labels) run.  The result is bit-identical to a fresh build and
+        is registered in :func:`shared_substrate`'s per-metric cache so
+        subsequent scheme builds reuse it.
+        """
+        oracle = metric.oracle
+        g = oracle.graph
+        n = g.n
+        self = cls.__new__(cls)
+        self._metric = metric
+        centers = [int(c) for c in arrays["centers"]]
+        self.assignment = CenterAssignment.restore(
+            metric, centers, arrays["home"], arrays["r_to_a"]
+        )
+        self._in_trees = {}
+        self._out_trees = {}
+        in_succ = arrays["in_succ"]
+        for idx, c in enumerate(self.assignment.centers):
+            parents = oracle.forward_tree_parents(c)
+            self._out_trees[c] = OutTreeRouter(g, c, parents, tree_id=idx)
+            self._in_trees[c] = ToRootPointers(g, c, in_succ[idx].tolist())
+        self._direct = [dict() for _ in range(n)]
+        for u, v, port in zip(
+            arrays["direct_u"], arrays["direct_v"], arrays["direct_port"]
+        ):
+            self._direct[int(u)][int(v)] = int(port)
+        self._labels = []
+        for v in range(n):
+            c = self.assignment.home_center(v)
+            self._labels.append(
+                R3Label(dest=v, center=c, addr=self._out_trees[c].address_of(v))
+            )
+        _adopt_shared(metric, self)
+        return self
+
     def __getstate__(self):
         """Pickle the substrate *without* its compiled step tables.
 
@@ -264,6 +352,18 @@ class RTZStretch3:
 # metric -> cache -> substrate -> metric cycle here is ordinary
 # garbage once the metric's last external reference drops.
 _CACHE_ATTR = "_rtz_substrate_cache"
+
+
+def _adopt_shared(metric: RoundtripMetric, substrate: "RTZStretch3") -> None:
+    """Register a substrate in the per-metric shared cache (idempotent;
+    an existing entry for the same landmark set wins)."""
+    per_metric: Optional[Dict[Tuple[int, ...], RTZStretch3]] = getattr(
+        metric, _CACHE_ATTR, None
+    )
+    if per_metric is None:
+        per_metric = {}
+        setattr(metric, _CACHE_ATTR, per_metric)
+    per_metric.setdefault(tuple(substrate.assignment.centers), substrate)
 
 
 def shared_substrate(

@@ -46,6 +46,7 @@ every registered scheme on every workload kind.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -194,6 +195,12 @@ def compile_substrate_tables(substrate) -> SubstrateStepTables:
     sharing one substrate (stretch-6, its variant, wild names, the RTZ
     baseline — deduplicated by :func:`repro.rtz.routing.shared_substrate`)
     compiles it exactly once.
+
+    When the artifact store is active (:func:`repro.store.default_store`)
+    the six dense arrays are persisted keyed by ``(graph content hash,
+    landmark set)`` — a pure function of those two, so no seed enters
+    the key — and later compiles (other processes, pool shard workers
+    rehydrating a pickled scheme) memory-map them instead of rebuilding.
     """
     cached = getattr(substrate, "_compiled_step_tables", None)
     if cached is not None:
@@ -201,6 +208,27 @@ def compile_substrate_tables(substrate) -> SubstrateStepTables:
     g: Digraph = substrate.metric.oracle.graph
     n = g.n
     centers = substrate.centers
+
+    from repro.store import StoreKey, default_store, graph_content_hash
+
+    store = default_store()
+    store_key = None
+    if store is not None and g.frozen:
+        store_key = StoreKey(
+            "substrate-tables",
+            1,
+            {"graph": graph_content_hash(g), "centers": [int(c) for c in centers]},
+        )
+        entry = store.get(store_key)
+        if entry is not None and entry.arrays["direct_next"].shape == (n, n):
+            a = entry.arrays
+            tables = SubstrateStepTables(
+                a["direct_next"], a["up_next"], a["down_next"],
+                a["center_of"], a["center_idx"], a["has_direct"],
+            )
+            substrate._compiled_step_tables = tables
+            return tables
+    t0 = time.perf_counter()
     cindex = {c: i for i, c in enumerate(centers)}
 
     direct_next = np.full((n, n), -1, dtype=np.int32)
@@ -241,6 +269,20 @@ def compile_substrate_tables(substrate) -> SubstrateStepTables:
         direct_next, up_next, down_next, center_of, center_idx, has_direct
     )
     substrate._compiled_step_tables = tables
+    if store_key is not None:
+        store.put(
+            store_key,
+            {
+                "direct_next": direct_next,
+                "up_next": up_next,
+                "down_next": down_next,
+                "center_of": center_of,
+                "center_idx": center_idx,
+                "has_direct": has_direct,
+            },
+            meta={"centers": len(centers)},
+            build_seconds=time.perf_counter() - t0,
+        )
     return tables
 
 

@@ -1,0 +1,116 @@
+"""Content-addressed store keys.
+
+A store key carries the *complete* provenance of an artifact — the
+graph's content hash, the network seed that drove every random draw,
+the builder parameters, and the artifact schema version — exactly the
+key discipline of :class:`repro.api.Network`'s in-memory cache, with
+the graph object identity replaced by a content hash so independent
+processes converge on the same entry.
+
+The digest of the canonical-JSON key doubles as the on-disk filename,
+making the store content-addressed: two processes that build the same
+artifact race toward the same path and the atomic-rename winner's bytes
+(identical either way, by the library's determinism discipline) serve
+everyone afterwards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import StoreError
+
+#: attribute used to cache a frozen graph's content hash on the object
+_GRAPH_HASH_ATTR = "_content_hash"
+
+
+def graph_content_hash(graph) -> str:
+    """SHA-256 over a frozen graph's full content.
+
+    Covers the vertex count and every edge as ``(tail, head, weight,
+    port)`` — ports included, because forwarding tables depend on the
+    adversarial port assignment, not just the topology.  Weights hash
+    via ``float.hex`` so the digest is exact (no repr rounding).
+
+    The hash is cached on the graph object (frozen graphs are
+    immutable), so repeated store lookups pay the edge walk once.
+    """
+    cached = getattr(graph, _GRAPH_HASH_ATTR, None)
+    if cached is not None:
+        return cached
+    if not graph.frozen:
+        raise StoreError("content hash requires a frozen graph")
+    h = hashlib.sha256()
+    h.update(f"repro-graph/1|n={graph.n}|m={graph.m}".encode())
+    for e in graph.edges():
+        h.update(f"|{e.tail},{e.head},{float(e.weight).hex()},{e.port}".encode())
+    digest = h.hexdigest()
+    setattr(graph, _GRAPH_HASH_ATTR, digest)
+    return digest
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize a key value to a deterministic JSON-able form."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        # exact: hashes/keys must not depend on repr rounding
+        return float(value).hex()
+    if isinstance(value, str):
+        return value
+    raise StoreError(
+        f"store key values must be JSON scalars/lists/dicts, got "
+        f"{type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """The full identity of one store entry.
+
+    Attributes:
+        kind: artifact kind (directory name in the cache layout).
+        version: artifact schema version; bump when the serialized
+            layout of a kind changes so stale entries miss cleanly.
+        key: provenance mapping (graph hash, seed, params...).
+    """
+
+    kind: str
+    version: int
+    key: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.kind or any(c in self.kind for c in "/\\. "):
+            raise StoreError(f"invalid artifact kind {self.kind!r}")
+
+    def canonical_json(self) -> str:
+        """Canonical JSON of the full key (sorted, exact floats)."""
+        doc = {
+            "kind": self.kind,
+            "version": int(self.version),
+            "key": _canonical(self.key),
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """Content address: SHA-256 hex digest of the canonical JSON."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable form for listings."""
+        parts = []
+        for name, value in self.key.items():
+            if name == "graph":
+                value = str(value)[:12]
+            parts.append(f"{name}={value}")
+        return f"{self.kind}/{self.version}({', '.join(parts)})"

@@ -1,0 +1,134 @@
+"""Memory-mappable ``.npz`` blobs for the artifact store.
+
+Store entries are plain uncompressed ``.npz`` archives (so ``repro``
+cache dirs stay inspectable with stock numpy), but :func:`np.load`
+refuses to memory-map members of a zip archive — it always copies them
+into fresh buffers.  For the store's read path that copy is exactly the
+cost we are trying to avoid: warm starts should share pages between the
+CLI process, every pool shard worker, and a future serve daemon.
+
+:func:`read_npz_mapped` therefore walks the zip structure itself.
+``np.savez`` writes members with ``ZIP_STORED`` (no compression), so
+each embedded ``.npy`` payload is a contiguous byte range of the file;
+we locate it via the local file header, parse the ``.npy`` header with
+numpy's public ``format`` helpers, and expose the data as a read-only
+``np.memmap`` slice.  Anything unexpected (a compressed member, an
+exotic ``.npy`` version, object dtypes) falls back to a plain
+``np.load`` copy — correctness first, zero-copy when possible.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zipfile
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.exceptions import StoreError
+
+#: size of the fixed part of a zip local file header (PKZIP appnote 4.3.7)
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_MAGIC = b"PK\x03\x04"
+
+
+def write_npz(path: str, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write ``arrays`` to ``path`` as an uncompressed ``.npz`` archive.
+
+    Keys become member names; values are converted with ``np.asarray``.
+    Object dtypes are rejected — store blobs must be loadable without
+    pickle (``read_npz_mapped`` opens them ``allow_pickle=False``).
+    """
+    clean: Dict[str, np.ndarray] = {}
+    for name, value in arrays.items():
+        arr = np.asarray(value)
+        if arr.dtype == object:
+            raise StoreError(
+                f"array {name!r} has object dtype; store blobs must be "
+                "plain numeric/bool arrays"
+            )
+        clean[name] = arr
+    # pass a file object: np.savez would otherwise append ".npz" to the
+    # temp-file names the store writes through
+    with open(path, "wb") as fh:
+        np.savez(fh, **clean)
+
+
+def _member_data_offset(fh, info: zipfile.ZipInfo) -> int:
+    """Absolute file offset of a stored member's payload.
+
+    The central directory's ``header_offset`` points at the member's
+    *local* file header, whose name/extra fields may differ in length
+    from the central copy — so the local header must be read to find
+    where the payload begins.
+    """
+    fh.seek(info.header_offset)
+    header = fh.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or header[:4] != _LOCAL_HEADER_MAGIC:
+        raise StoreError(f"bad zip local header for member {info.filename!r}")
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def _map_member(path: str, fh, info: zipfile.ZipInfo) -> np.ndarray:
+    """Map one stored ``.npy`` member as a read-only array."""
+    data_offset = _member_data_offset(fh, info)
+    fh.seek(data_offset)
+    version = np.lib.format.read_magic(fh)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+    else:
+        raise StoreError(f"unsupported .npy version {version}")
+    if dtype.hasobject:
+        raise StoreError("object arrays cannot be memory-mapped")
+    arr = np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=fh.tell(),
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+    return arr
+
+
+def read_npz_mapped(path: str) -> Dict[str, np.ndarray]:
+    """Load every array in an ``.npz`` blob, memory-mapped read-only.
+
+    Falls back to an in-memory copy per member when zero-copy mapping is
+    not possible (compressed member, unusual header).  The returned
+    arrays are never writable either way.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    fallback = []
+    with open(path, "rb") as fh:
+        with zipfile.ZipFile(fh) as zf:
+            for info in zf.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                if info.compress_type != zipfile.ZIP_STORED:
+                    fallback.append(name)
+                    continue
+                try:
+                    arrays[name] = _map_member(path, fh, info)
+                except StoreError:
+                    fallback.append(name)
+    if fallback:
+        with np.load(path, allow_pickle=False) as npz:
+            for name in fallback:
+                arr = npz[name]
+                arr.flags.writeable = False
+                arrays[name] = arr
+    return arrays
+
+
+def file_size(path: str) -> int:
+    """Size of ``path`` in bytes (0 when missing)."""
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0

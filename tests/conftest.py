@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+# Hermeticity: the suite asserts exact build counts (builds=1 on first
+# touch) and must not read or write the developer's ~/.cache/repro.
+# Store-specific tests opt back in with explicit roots / monkeypatched
+# environments.  setdefault keeps a deliberate override possible.
+os.environ.setdefault("REPRO_STORE", "off")
 
 from repro.graph.digraph import Digraph
 from repro.graph.generators import (

@@ -171,7 +171,8 @@ class TestNetwork:
 
     def test_instance_bridge_matches_artifacts(self):
         net = make_network(n=12, seed=8)
-        inst = net.instance()
+        with pytest.deprecated_call():
+            inst = net.instance()
         assert inst.graph is net.graph
         assert inst.oracle is net.oracle()
         assert inst.naming is net.naming()

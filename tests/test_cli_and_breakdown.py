@@ -171,7 +171,7 @@ class TestCLI:
         assert "stretch-6 (TINN)" in out
         assert "rtz-3 (name-dep)" in out
         assert "shared artifacts reused" in out
-        assert "shared artifact cache" in out
+        assert "shared artifacts:" in out  # the consolidated stats block
         # the metric and substrate lines report exactly one build each
         for artifact in ("metric", "rtz "):
             line = next(
