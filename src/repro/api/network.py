@@ -24,6 +24,7 @@ Quickstart::
 from __future__ import annotations
 
 import random
+import threading
 import time
 import warnings
 from typing import Any, Dict, Optional, TYPE_CHECKING, Union
@@ -104,6 +105,16 @@ class Network:
         self._store_mode = store
         self._cache: Dict[str, Any] = {}
         self._stats: Dict[str, Dict[str, float]] = {}
+        # Concurrency safety for the lookup ladder: the serve daemon's
+        # broker runs coalesced batches for different schemes on worker
+        # threads, and two of them must never race one label through
+        # memory -> store -> build-and-persist (double builds, torn
+        # counters).  One lock per label — builds of *different*
+        # artifacts still overlap; recursive dependency builds (rtz ->
+        # metric -> oracle) take distinct labels' locks, so the
+        # dependency DAG keeps this deadlock-free.
+        self._locks_guard = threading.Lock()
+        self._label_locks: Dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -186,20 +197,30 @@ class Network:
             label, {"builds": 0, "hits": 0, "store_hits": 0, "seconds": 0.0}
         )
 
+    def _label_lock(self, label: str) -> threading.Lock:
+        """The per-label build lock (created on first contact)."""
+        with self._locks_guard:
+            lock = self._label_locks.get(label)
+            if lock is None:
+                lock = self._label_locks[label] = threading.Lock()
+            return lock
+
     def _artifact(self, label: str, build) -> Any:
         """Serve ``label`` from the in-memory cache, building (and
         timing) once — the memory-only path used for scheme builds and
-        unregistered artifacts."""
-        stats = self._counters(label)
-        if label in self._cache:
-            stats["hits"] += 1
-            return self._cache[label]
-        t0 = time.perf_counter()
-        value = build()
-        stats["seconds"] += time.perf_counter() - t0
-        stats["builds"] += 1
-        self._cache[label] = value
-        return value
+        unregistered artifacts.  Thread-safe: concurrent callers of one
+        label serialize on its lock, so the build runs exactly once."""
+        with self._label_lock(label):
+            stats = self._counters(label)
+            if label in self._cache:
+                stats["hits"] += 1
+                return self._cache[label]
+            t0 = time.perf_counter()
+            value = build()
+            stats["seconds"] += time.perf_counter() - t0
+            stats["builds"] += 1
+            self._cache[label] = value
+            return value
 
     def artifact(self, kind: str, **params: Any) -> Any:
         """Serve a registered artifact through the two-tier lookup.
@@ -223,35 +244,40 @@ class Network:
         spec = get_artifact_spec(kind)
         resolved = spec.validate_params(params)
         label = spec.cache_label(resolved)
-        stats = self._counters(label)
-        if label in self._cache:
-            stats["hits"] += 1
-            return self._cache[label]
-        store = self.resolved_store() if spec.storable else None
-        key = spec.store_key(self, resolved) if store is not None else None
-        if store is not None:
-            entry = store.get(key)
-            if entry is not None:
-                try:
-                    value = spec.load(self, entry)
-                except Exception:
-                    # checksum-valid but undeserializable: quarantine
-                    # for post-mortem and fall through to a rebuild
-                    store.quarantine(key)
-                else:
-                    stats["store_hits"] += 1
-                    self._cache[label] = value
-                    return value
-        t0 = time.perf_counter()
-        value = spec.build(self, resolved)
-        elapsed = time.perf_counter() - t0
-        stats["seconds"] += elapsed
-        stats["builds"] += 1
-        self._cache[label] = value
-        if store is not None:
-            arrays, meta = spec.dump(value)
-            store.put(key, arrays, meta=meta, build_seconds=elapsed)
-        return value
+        # The whole memory -> store -> build-and-persist ladder runs
+        # under the label's lock: two coalesced serve-daemon requests
+        # racing a cold artifact must produce one build and one store
+        # write, with the loser served from memory.
+        with self._label_lock(label):
+            stats = self._counters(label)
+            if label in self._cache:
+                stats["hits"] += 1
+                return self._cache[label]
+            store = self.resolved_store() if spec.storable else None
+            key = spec.store_key(self, resolved) if store is not None else None
+            if store is not None:
+                entry = store.get(key)
+                if entry is not None:
+                    try:
+                        value = spec.load(self, entry)
+                    except Exception:
+                        # checksum-valid but undeserializable: quarantine
+                        # for post-mortem and fall through to a rebuild
+                        store.quarantine(key)
+                    else:
+                        stats["store_hits"] += 1
+                        self._cache[label] = value
+                        return value
+            t0 = time.perf_counter()
+            value = spec.build(self, resolved)
+            elapsed = time.perf_counter() - t0
+            stats["seconds"] += elapsed
+            stats["builds"] += 1
+            self._cache[label] = value
+            if store is not None:
+                arrays, meta = spec.dump(value)
+                store.put(key, arrays, meta=meta, build_seconds=elapsed)
+            return value
 
     def stats(self) -> NetworkStats:
         """Consolidated statistics: per-label artifact counters plus

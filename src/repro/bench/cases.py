@@ -17,7 +17,12 @@ Each case names one kernel the repo's perf story depends on:
   build-and-persist versus rehydrating the same artifact from a warm
   store (each case owns an explicit temporary
   :class:`~repro.store.ArtifactStore`, so the runner's cold-mode
-  override of the *ambient* store does not affect it).
+  override of the *ambient* store does not affect it);
+* **serve** — the :mod:`repro.serve` daemon: single-request HTTP
+  latency, coalesced multi-client throughput through the batching
+  broker, and the direct in-process ``route_many`` baseline the
+  daemon's overhead is judged against (one shared background daemon
+  per graph size, started lazily and torn down at process exit).
 
 Sizes mirror the pytest-benchmark modules under ``benchmarks/`` (which
 time these same registered thunks), and every count is routed through
@@ -349,3 +354,109 @@ def _register_store_case(name: str, kind: str, warm: bool, n: int = 96):
 _register_store_case("store/oracle/cold_build", "oracle", warm=False)
 _register_store_case("store/oracle/warm_load", "oracle", warm=True)
 _register_store_case("store/rtz/warm_load", "rtz", warm=True)
+
+
+# ----------------------------------------------------------------------
+# serve axis: the daemon's request latency and coalesced throughput
+# ----------------------------------------------------------------------
+
+#: lazily-started daemons shared across serve cases and repetitions,
+#: keyed by (n, seed); daemon threads die with the process.
+_SERVE_DAEMONS: dict = {}
+
+
+def _serve_daemon(n: int, seed: int):
+    from repro.serve import ServeConfig, ServeDaemon
+
+    key = (n, seed)
+    daemon = _SERVE_DAEMONS.get(key)
+    if daemon is None:
+        config = ServeConfig(
+            family="random", n=n, seed=seed, schemes=("stretch6",),
+            port=0, linger_s=0.002, store=None,
+        )
+        daemon = _SERVE_DAEMONS[key] = ServeDaemon(config).start()
+    return daemon
+
+
+@bench_case(
+    "serve/route/latency",
+    axis="serve",
+    summary="single-pair HTTP request round-trip through the daemon "
+            "(random, n=64)",
+    # Socket and scheduler latencies jitter far more across hosts than
+    # pure compute; the band still catches a broker path that stops
+    # short-circuiting single requests.
+    tolerance=4.0,
+    tags={"scheme": "stretch6", "family": "random", "mode": "daemon"},
+)
+def _serve_route_latency(ctx: BenchContext):
+    from repro.serve import ServeClient
+
+    size = ctx.n(64)
+    daemon = _serve_daemon(size, ctx.seed)
+    client = ServeClient(port=daemon.port)
+    client.healthz()  # connection + first-request warm-up
+    return lambda: client.route(0, size - 1)
+
+
+@bench_case(
+    "serve/route_many/coalesced",
+    axis="serve",
+    summary="8 concurrent clients, one shared coalesced engine batch "
+            "(random, n=64, 400 pairs)",
+    tolerance=4.0,
+    tags={"scheme": "stretch6", "family": "random", "mode": "daemon",
+          "clients": "8"},
+)
+def _serve_route_many_coalesced(ctx: BenchContext):
+    import threading
+
+    from repro.serve import ServeClient
+
+    size = ctx.n(64)
+    daemon = _serve_daemon(size, ctx.seed)
+    net = ctx.network("random", size)
+    wl = ctx.workload("uniform", net, 400, smoke_pairs=80, seed=31)
+    pairs = list(wl.pairs)
+    split = (len(pairs) + 7) // 8
+    chunks = [pairs[i:i + split] for i in range(0, len(pairs), split)]
+    clients = [ServeClient(port=daemon.port) for _ in chunks]
+    for client in clients:
+        client.healthz()  # open every connection outside the timing
+
+    def run():
+        outcomes = [None] * len(chunks)
+
+        def worker(i):
+            outcomes[i] = clients[i].route_many(chunks[i])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(chunks))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return sum(len(routes) for _, routes in outcomes)
+
+    return run
+
+
+@bench_case(
+    "serve/route_many/direct",
+    axis="serve",
+    summary="the same 400-pair batch through an in-process session "
+            "(the daemon-overhead baseline; random, n=64)",
+    tolerance=4.0,
+    tags={"scheme": "stretch6", "family": "random", "mode": "direct"},
+)
+def _serve_route_many_direct(ctx: BenchContext):
+    size = ctx.n(64)
+    net = ctx.network("random", size)
+    router = net.router("stretch6")
+    wl = ctx.workload("uniform", net, 400, smoke_pairs=80, seed=31)
+    pairs = list(wl.pairs)
+    router.route_many(pairs[:4])  # compile outside the timing
+    return lambda: router.route_many(pairs)

@@ -39,7 +39,7 @@ class UnknownCaseError(ReproError):
 
 
 #: The measurement axes the suite covers (ordered as reported).
-AXES = ("build", "apsp", "routing", "traffic", "shard", "store")
+AXES = ("build", "apsp", "routing", "traffic", "shard", "store", "serve")
 
 #: Default relative tolerance band: a case regresses when its median
 #: exceeds ``baseline * (1 + tolerance)`` (plus the comparator's small

@@ -371,7 +371,218 @@ def cmd_store(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} files from {store.root}")
         return 0
+    if args.store_command == "stats":
+        print(store.stats().format())
+        return 0
     raise SystemExit(f"unknown store command {args.store_command!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, serve_forever
+
+    _configure_store(args)
+    labels = [s.strip() for s in args.scheme.split(",") if s.strip()]
+    if not labels:
+        raise SystemExit("no scheme given")
+    schemes = []
+    for label in labels:
+        try:
+            schemes.append(get_spec(label).name)
+        except UnknownSchemeError as exc:
+            raise SystemExit(str(exc))
+    if args.linger_ms < 0:
+        raise SystemExit(f"--linger-ms must be >= 0, got {args.linger_ms}")
+    config = ServeConfig(
+        family=args.family,
+        n=args.n,
+        seed=args.seed,
+        engine=args.engine,
+        schemes=tuple(schemes),
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        linger_s=args.linger_ms / 1000.0,
+    )
+    try:
+        return serve_forever(config)
+    except (GraphError, ReproError) as exc:
+        raise SystemExit(str(exc))
+
+
+def _read_pair_file(path: str) -> list:
+    """Parse a batch file: one ``source dest`` (or ``source,dest``)
+    pair per line; blank lines and ``#`` comments ignored."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot read pair file: {exc}")
+    pairs = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        try:
+            if len(parts) != 2:
+                raise ValueError
+            pairs.append((int(parts[0]), int(parts[1])))
+        except ValueError:
+            raise SystemExit(
+                f"{path}:{lineno}: expected 'source dest', got {line!r}"
+            )
+    return pairs
+
+
+def _format_route_line(s: int, t: int, route) -> str:
+    """One per-pair output line; ``repr`` floats so online and offline
+    runs diff bit-identically."""
+    return (
+        f"{s} {t} cost={route.cost!r} hops={route.hops} "
+        f"bits={route.max_header_bits} stretch={route.stretch!r}"
+    )
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import ProtocolError, ServeClient, ServeConnectionError
+
+    try:
+        client = ServeClient(host=args.host, port=args.port,
+                             timeout=args.timeout)
+        action = args.client_command
+        if action == "health":
+            doc = client.healthz()
+            print(f"status     : {doc.get('status')}")
+            print(f"generation : {doc.get('generation')}")
+            graph = doc.get("graph", {})
+            print(f"graph      : {graph.get('family')} n={graph.get('n')} "
+                  f"seed={graph.get('seed')}")
+            print(f"uptime     : {doc.get('uptime_s', 0.0):.1f} s")
+            return 0
+        if action == "schemes":
+            doc = client.schemes()
+            print(f"default: {doc.get('default')}  "
+                  f"loaded: {', '.join(doc.get('loaded', []))}")
+            for spec in doc.get("schemes", []):
+                print(f"{spec['name']:<22} {spec['stretch_bound']:<18} "
+                      f"{spec['summary']}")
+            return 0
+        if action == "stats":
+            import json as _json
+
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if action == "route":
+            generation, route = client.route(
+                args.source, args.dest, scheme=args.scheme
+            )
+            print(f"generation : {generation}")
+            print(f"dest name  : {route.dest_name}")
+            print(f"cost       : {route.cost}")
+            print(f"hops       : {route.hops}")
+            print(f"hdr bits   : {route.max_header_bits}")
+            print(f"stretch    : {route.stretch:.4f}")
+            return 0
+        if action == "batch":
+            return _client_batch(args, client)
+        if action == "workload":
+            generation, summary = client.workload(
+                args.kind, args.pairs, seed=args.seed, scheme=args.scheme
+            )
+            print(f"generation : {generation}")
+            print(summary.format())
+            return 0
+        if action == "reload":
+            doc = client.reload(family=args.family, n=args.n, seed=args.seed)
+            graph = doc.get("graph", {})
+            print(f"reloaded   : generation {doc.get('old_generation')} -> "
+                  f"{doc.get('generation')}")
+            print(f"graph      : {graph.get('family')} n={graph.get('n')} "
+                  f"seed={graph.get('seed')}")
+            return 0
+        raise SystemExit(f"unknown client command {action!r}")
+    except ProtocolError as exc:
+        detail = f"daemon rejected the request ({exc.code}): {exc}"
+        choices = exc.extra.get("choices")
+        if choices:
+            detail += f"\nchoices: {', '.join(map(str, choices))}"
+        raise SystemExit(detail)
+    except ServeConnectionError as exc:
+        raise SystemExit(str(exc))
+
+
+def _client_batch(args: argparse.Namespace, client) -> int:
+    """``repro client batch``: route a pair file through the daemon
+    (optionally with concurrent connections, exercising coalescing) or
+    — with ``--offline`` — directly through the library, printing the
+    identical per-pair lines either way (the CI differential diffs the
+    two outputs byte for byte)."""
+    pairs = _read_pair_file(args.file)
+    if not pairs:
+        print("# empty batch", file=sys.stderr)
+        return 0
+    if args.offline:
+        _configure_store(args)
+        net = Network.from_family(
+            args.family, args.n, seed=args.seed,
+            engine=getattr(args, "engine", "auto"),
+        )
+        try:
+            results = net.router(args.scheme or "stretch6").route_many(pairs)
+        except (GraphError, RoutingError, UnknownSchemeError) as exc:
+            raise SystemExit(str(exc))
+        for (s, t), route in zip(pairs, results):
+            print(_format_route_line(s, t, route))
+        return 0
+    concurrency = max(1, args.concurrency)
+    if concurrency == 1:
+        generation, results = client.route_many(pairs, scheme=args.scheme)
+        generations = {generation}
+    else:
+        import threading
+
+        from repro.serve import ServeClient
+
+        size = (len(pairs) + concurrency - 1) // concurrency
+        chunks = [pairs[i:i + size] for i in range(0, len(pairs), size)]
+        outcomes: list = [None] * len(chunks)
+
+        def work(index: int) -> None:
+            worker = ServeClient(host=args.host, port=args.port,
+                                 timeout=args.timeout)
+            try:
+                outcomes[index] = worker.route_many(
+                    chunks[index], scheme=args.scheme
+                )
+            except Exception as exc:  # surfaced after join
+                outcomes[index] = exc
+            finally:
+                worker.close()
+
+        threads = [
+            threading.Thread(target=work, args=(i,), daemon=True)
+            for i in range(len(chunks))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = []
+        generations = set()
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+            generation, routes = outcome
+            generations.add(generation)
+            results.extend(routes)
+    for (s, t), route in zip(pairs, results):
+        print(_format_route_line(s, t, route))
+    print(f"# generation(s): {sorted(generations)}", file=sys.stderr)
+    return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -531,6 +742,145 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_opts(sp)
     sp.set_defaults(func=cmd_store)
+    sp = store_sub.add_parser(
+        "stats",
+        help="aggregate statistics (entries, bytes, hit/miss counters)",
+    )
+    store_opts(sp)
+    sp.set_defaults(func=cmd_store)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived routing daemon (coalescing broker, "
+        "warm artifact cache, graceful /reload)",
+    )
+    common(p)
+    p.add_argument(
+        "--scheme",
+        default="stretch6",
+        help="comma-separated schemes to pre-build; the first is the "
+        "daemon default; " + scheme_help,
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8577,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="concurrent requests admitted before shedding with 429",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="largest coalesced batch handed to the engine",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=8192,
+        help="pending pairs queued per scheme before shedding with 429",
+    )
+    p.add_argument(
+        "--linger-ms",
+        type=float,
+        default=2.0,
+        help="how long the broker waits for concurrent requests to "
+        "pile into one batch",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client", help="talk to a running repro serve daemon"
+    )
+    client_sub = p.add_subparsers(dest="client_command", required=True)
+
+    def client_opts(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--host", default="127.0.0.1", help="daemon host")
+        sp.add_argument(
+            "--port", type=int, default=8577, help="daemon port"
+        )
+        sp.add_argument(
+            "--timeout", type=float, default=120.0, help="socket timeout"
+        )
+        sp.set_defaults(func=cmd_client)
+
+    sp = client_sub.add_parser("health", help="liveness / generation probe")
+    client_opts(sp)
+    sp = client_sub.add_parser("schemes", help="the daemon's scheme registry")
+    client_opts(sp)
+    sp = client_sub.add_parser(
+        "stats", help="server, broker and session statistics (JSON)"
+    )
+    client_opts(sp)
+    sp = client_sub.add_parser("route", help="route one source/dest pair")
+    sp.add_argument("source", type=int)
+    sp.add_argument("dest", type=int)
+    sp.add_argument(
+        "--scheme", default=None, help="scheme (default: daemon default)"
+    )
+    client_opts(sp)
+    sp = client_sub.add_parser(
+        "batch",
+        help="route a pair file ('source dest' per line); --offline "
+        "routes it directly through the library with identical output",
+    )
+    sp.add_argument(
+        "--file", required=True, help="pair file path, or - for stdin"
+    )
+    sp.add_argument(
+        "--scheme", default=None, help="scheme (default: daemon default)"
+    )
+    sp.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="split the batch over this many concurrent connections "
+        "(exercises the daemon's coalescing broker)",
+    )
+    sp.add_argument(
+        "--offline",
+        action="store_true",
+        help="skip the daemon: build the graph locally and route the "
+        "same pairs directly (for bit-identity diffs)",
+    )
+    sp.add_argument("--family", default="random", help="graph family "
+                    "(--offline only; must match the daemon's)")
+    sp.add_argument("--n", type=int, default=64, help="graph size "
+                    "(--offline only)")
+    sp.add_argument("--seed", type=int, default=0, help="graph seed "
+                    "(--offline only)")
+    sp.add_argument("--engine", default="auto", choices=ENGINES,
+                    help="routing engine (--offline only)")
+    store_opts(sp)
+    client_opts(sp)
+    sp = client_sub.add_parser(
+        "workload",
+        help="replay a named workload on the daemon (summary is "
+        "bit-identical to 'repro traffic' with the same seed)",
+    )
+    sp.add_argument(
+        "--kind", default="mixed", choices=WORKLOAD_KINDS,
+        help="traffic shape",
+    )
+    sp.add_argument("--pairs", type=int, default=200, help="journeys")
+    sp.add_argument("--seed", type=int, default=0, help="workload seed")
+    sp.add_argument(
+        "--scheme", default=None, help="scheme (default: daemon default)"
+    )
+    client_opts(sp)
+    sp = client_sub.add_parser(
+        "reload", help="swap the daemon's graph snapshot gracefully"
+    )
+    sp.add_argument("--family", default=None, help="new graph family")
+    sp.add_argument("--n", type=int, default=None, help="new graph size")
+    sp.add_argument("--seed", type=int, default=None, help="new graph seed")
+    client_opts(sp)
 
     p = sub.add_parser(
         "bench",

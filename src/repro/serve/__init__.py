@@ -1,0 +1,70 @@
+"""``repro.serve``: the long-lived asyncio routing daemon.
+
+The "millions of users" tier over :mod:`repro.api`: one process owns a
+warm :class:`~repro.api.Network` per loaded graph snapshot (mounted on
+the :mod:`repro.store` artifact cache), serves concurrent route /
+workload / stats requests over a versioned JSON wire protocol
+(``repro-serve/1``), **coalesces** concurrent route requests into
+engine-sized batches executed through the compiled vectorized engine —
+bit-identical to direct library calls — and swaps graph snapshots
+gracefully (``POST /reload``) without dropping a single in-flight
+request.
+
+Layers:
+
+* :mod:`repro.serve.protocol` — the wire schema (requests, responses,
+  structured errors);
+* :mod:`repro.serve.broker` — the batching broker (coalescing,
+  bounded-queue admission control);
+* :mod:`repro.serve.lifecycle` — graph-snapshot generations and the
+  drain-then-release reload protocol;
+* :mod:`repro.serve.app` — the asyncio HTTP daemon (endpoints,
+  request gate, foreground/background runners);
+* :mod:`repro.serve.client` — the synchronous client the ``repro
+  client`` CLI and the tests drive the daemon with.
+"""
+
+from repro.serve.app import (
+    DEFAULT_PORT,
+    ServeApp,
+    ServeConfig,
+    ServeDaemon,
+    build_app,
+    serve_async,
+    serve_forever,
+    start_server,
+)
+from repro.serve.broker import BatchBroker, OverloadedError
+from repro.serve.client import ServeClient, ServeConnectionError
+from repro.serve.lifecycle import Generation, Lifecycle
+from repro.serve.protocol import (
+    ProtocolError,
+    ReloadRequest,
+    RouteManyRequest,
+    SCHEMA,
+    ServedRoute,
+    WorkloadRequest,
+)
+
+__all__ = [
+    "BatchBroker",
+    "DEFAULT_PORT",
+    "Generation",
+    "Lifecycle",
+    "OverloadedError",
+    "ProtocolError",
+    "ReloadRequest",
+    "RouteManyRequest",
+    "SCHEMA",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeConnectionError",
+    "ServeDaemon",
+    "ServedRoute",
+    "WorkloadRequest",
+    "build_app",
+    "serve_async",
+    "serve_forever",
+    "start_server",
+]

@@ -1,0 +1,209 @@
+"""Golden tests for the ``repro-serve/1`` wire protocol.
+
+Every request/response shape round-trips through its dataclass and the
+JSON encode/decode helpers; malformed documents are rejected with
+structured :class:`~repro.serve.protocol.ProtocolError` bodies (the
+``unknown-scheme`` path surfaces the registry's choices).  The daemon
+(:mod:`repro.serve.app`) and the client share these helpers, so these
+tests pin what the bytes mean independent of any socket.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Network, scheme_names
+from repro.runtime.traffic import TrafficSummary
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    ProtocolError,
+    ReloadRequest,
+    RouteManyRequest,
+    SCHEMA,
+    ServedRoute,
+    WorkloadRequest,
+    decode_body,
+    decode_pairs,
+    decode_results,
+    decode_summary,
+    encode_body,
+    encode_results,
+    encode_summary,
+    parse_request,
+)
+
+
+# ----------------------------------------------------------------------
+# envelope / parse_request
+# ----------------------------------------------------------------------
+
+def test_parse_request_empty_body_is_empty_request():
+    assert parse_request(b"") == {}
+
+
+def test_parse_request_schema_match_and_mismatch():
+    ok = parse_request(json.dumps({"schema": SCHEMA, "x": 1}).encode())
+    assert ok["x"] == 1
+    # absent schema is tolerated (plain curl clients)
+    assert parse_request(b'{"x": 2}')["x"] == 2
+    with pytest.raises(ProtocolError) as err:
+        parse_request(b'{"schema": "repro-serve/99"}')
+    assert err.value.code == "bad-request"
+    assert err.value.status == 400
+
+
+@pytest.mark.parametrize(
+    "raw", [b"not json", b"[1, 2]", b'"string"', b"\xff\xfe"]
+)
+def test_parse_request_rejects_non_object_bodies(raw):
+    with pytest.raises(ProtocolError):
+        parse_request(raw)
+
+
+def test_error_codes_cover_statuses():
+    assert set(ERROR_STATUS.values()) == {400, 404, 429, 500, 503}
+    with pytest.raises(ValueError):
+        ProtocolError("x", code="no-such-code")
+
+
+# ----------------------------------------------------------------------
+# request dataclasses
+# ----------------------------------------------------------------------
+
+def test_route_many_round_trip():
+    req = RouteManyRequest(pairs=((0, 5), (3, 1)), scheme="rtz")
+    doc = req.to_doc()
+    assert doc["schema"] == SCHEMA
+    again = RouteManyRequest.from_doc(json.loads(json.dumps(doc)))
+    assert again == req
+
+
+def test_route_many_single_pair_form():
+    req = RouteManyRequest.from_doc({"source": 2, "dest": 7})
+    assert req.pairs == ((2, 7),) and req.scheme is None
+    with pytest.raises(ProtocolError):
+        RouteManyRequest.from_doc({"pairs": [[0, 1]], "source": 2, "dest": 3})
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        {"pairs": "nope"},
+        {"pairs": [[1]]},
+        {"pairs": [[1, 2, 3]]},
+        {"pairs": [[1, "2"]]},
+        {"pairs": [[True, 2]]},
+        {"source": 1.5, "dest": 2},
+        {"source": 1},
+        {"pairs": [[0, 1]], "scheme": 7},
+    ],
+)
+def test_route_many_rejects_malformed(doc):
+    with pytest.raises(ProtocolError) as err:
+        RouteManyRequest.from_doc(doc)
+    assert err.value.status == 400
+
+
+def test_decode_pairs_accepts_tuples_on_encode_side():
+    assert decode_pairs([[0, 1], (2, 3)]) == [(0, 1), (2, 3)]
+
+
+def test_workload_round_trip_and_choices():
+    req = WorkloadRequest(kind="hotspot", count=64, seed=9, scheme="stretch6")
+    assert WorkloadRequest.from_doc(req.to_doc()) == req
+    with pytest.raises(ProtocolError) as err:
+        WorkloadRequest.from_doc({"kind": "bogus", "count": 4})
+    assert "choices" in err.value.extra
+    assert "mixed" in err.value.extra["choices"]
+    with pytest.raises(ProtocolError):
+        WorkloadRequest.from_doc({"kind": "mixed", "count": -1})
+    with pytest.raises(ProtocolError):
+        WorkloadRequest.from_doc({"count": 4})
+
+
+def test_reload_round_trip_and_bounds():
+    req = ReloadRequest(family="torus", n=36, seed=4)
+    assert ReloadRequest.from_doc(req.to_doc()) == req
+    empty = ReloadRequest.from_doc({})
+    assert empty == ReloadRequest()
+    assert empty.to_doc() == {"schema": SCHEMA}
+    with pytest.raises(ProtocolError):
+        ReloadRequest.from_doc({"n": 1})
+
+
+# ----------------------------------------------------------------------
+# responses
+# ----------------------------------------------------------------------
+
+def test_served_route_round_trips_real_results_bit_identically():
+    net = Network.from_family("random", 24, seed=0, store=None)
+    results = net.router("stretch6").route_many([(0, 5), (7, 2), (3, 19)])
+    doc = encode_results(results, generation=3)
+    wire = json.loads(encode_body(doc).decode())
+    generation, routes = decode_results(wire)
+    assert generation == 3
+    for route, result in zip(routes, results):
+        assert route == ServedRoute.from_result(result)
+        # float fields must round-trip exactly, not approximately
+        assert route.cost == result.cost
+        assert route.stretch == result.stretch
+
+
+def test_decode_results_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        decode_results({"generation": 1})
+    with pytest.raises(ProtocolError):
+        decode_results({"generation": True, "results": []})
+    with pytest.raises(ProtocolError):
+        decode_results({"generation": 1, "results": [{"source": 0}]})
+
+
+def test_summary_round_trip_preserves_format_output():
+    summary = TrafficSummary(
+        kind="mixed", pairs=10, total_cost=123.456789012345,
+        total_hops=40, mean_cost=12.3456789012345, mean_hops=4.0,
+        max_hops=9, max_header_bits=63, mean_stretch=1.25,
+        max_stretch=2.75, worst_pair=(3, 9), elapsed_s=0.0123,
+    )
+    again = decode_summary(json.loads(json.dumps(encode_summary(summary))))
+    assert again == summary
+    assert again.format() == summary.format()
+    with pytest.raises(ProtocolError):
+        decode_summary({"kind": "mixed"})
+
+
+def test_encode_body_enforces_schema_envelope():
+    doc = json.loads(encode_body({"x": 1}).decode())
+    assert doc["schema"] == SCHEMA
+
+
+def test_decode_body_rehydrates_structured_errors():
+    err = ProtocolError(
+        "unknown scheme 'bogus'", code="unknown-scheme",
+        choices=scheme_names(),
+    )
+    raw = encode_body(err.body())
+    with pytest.raises(ProtocolError) as caught:
+        decode_body(raw)
+    assert caught.value.code == "unknown-scheme"
+    assert caught.value.status == 400
+    assert caught.value.extra["choices"] == scheme_names()
+    assert "bogus" in str(caught.value)
+
+
+def test_decode_body_rejects_foreign_schema_and_junk():
+    with pytest.raises(ProtocolError):
+        decode_body(b'{"schema": "other/1"}')
+    with pytest.raises(ProtocolError):
+        decode_body(b"junk")
+    with pytest.raises(ProtocolError):
+        decode_body(b"[1]")
+    # unknown error codes degrade to server-error instead of crashing
+    raw = json.dumps(
+        {"schema": SCHEMA, "error": {"code": "???", "message": "m"}}
+    ).encode()
+    with pytest.raises(ProtocolError) as caught:
+        decode_body(raw)
+    assert caught.value.code == "server-error"
