@@ -74,10 +74,13 @@ class Network:
             rebuilding the network; an explicit
             :class:`~repro.store.ArtifactStore` pins one; ``None``
             disables persistence for this network.
+        tables: default compiled-table family for this network's
+            routers (``"dense"`` / ``"blocked"`` / ``"auto"``; see
+            :func:`repro.runtime.engine.resolve_table_family`).
 
     Raises:
-        GraphError: for an unfrozen graph, unknown engine, or invalid
-            store argument.
+        GraphError: for an unfrozen graph, unknown engine, unknown
+            table family, or invalid store argument.
     """
 
     def __init__(
@@ -86,7 +89,10 @@ class Network:
         seed: int = 0,
         engine: str = "auto",
         store: Union[str, ArtifactStore, None] = "auto",
+        tables: str = "auto",
     ):
+        from repro.runtime.engine import TABLE_FAMILIES
+
         if not graph.frozen:
             raise GraphError(
                 "Network requires a frozen graph; call graph.freeze() first"
@@ -95,6 +101,11 @@ class Network:
             raise GraphError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
             )
+        if tables not in TABLE_FAMILIES:
+            raise GraphError(
+                f"unknown table family {tables!r}; choose from "
+                f"{TABLE_FAMILIES}"
+            )
         if store != "auto" and store is not None and not isinstance(store, ArtifactStore):
             raise GraphError(
                 f"store must be 'auto', None, or an ArtifactStore, got {store!r}"
@@ -102,6 +113,7 @@ class Network:
         self._graph = graph
         self._seed = seed
         self._engine = engine
+        self._tables = tables
         self._store_mode = store
         self._cache: Dict[str, Any] = {}
         self._stats: Dict[str, Dict[str, float]] = {}
@@ -127,6 +139,7 @@ class Network:
         seed: int = 0,
         engine: str = "auto",
         store: Union[str, ArtifactStore, None] = "auto",
+        tables: str = "auto",
     ) -> "Network":
         """Build a network over one of the standard graph families.
 
@@ -137,6 +150,7 @@ class Network:
             seed: master seed (also seeds the generator).
             engine: distance-oracle engine.
             store: persistence tier (see the constructor).
+            tables: default compiled-table family (see the constructor).
 
         Raises:
             GraphError: for an unknown family (choices listed).
@@ -146,7 +160,10 @@ class Network:
             raise GraphError(
                 f"unknown family {family!r}; choose from {sorted(families)}"
             )
-        return cls(families[family], seed=seed, engine=engine, store=store)
+        return cls(
+            families[family], seed=seed, engine=engine, store=store,
+            tables=tables,
+        )
 
     # ------------------------------------------------------------------
     # identity
@@ -171,6 +188,12 @@ class Network:
         """The engine knob requested at construction (governs oracle
         builds and batched routing execution)."""
         return self._engine
+
+    @property
+    def tables(self) -> str:
+        """The compiled-table family knob requested at construction
+        (``"auto"`` / ``"dense"`` / ``"blocked"``)."""
+        return self._tables
 
     def derive_rng(self, tag: str, params: Optional[Dict[str, Any]] = None) -> random.Random:
         """A deterministic rng stream for one artifact or scheme.
@@ -419,6 +442,7 @@ class Network:
         engine: Optional[str] = None,
         jobs: Optional[int] = None,
         executor: Optional[str] = None,
+        tables: Optional[str] = None,
         **params: Any,
     ) -> "Router":
         """A routing session over one scheme of this network.
@@ -433,6 +457,8 @@ class Network:
                 (see :meth:`repro.api.router.Router.serve_workload`).
             executor: default shard executor (``serial`` / ``threads``
                 / ``processes``; ``None`` auto-selects per engine).
+            tables: compiled-table family override (defaults to this
+                network's tables knob).
             **params: forwarded to :meth:`build_scheme` for names.
         """
         from repro.api.router import Router
@@ -446,4 +472,5 @@ class Network:
             engine=engine or self._engine,
             jobs=jobs,
             executor=executor,
+            tables=tables or self._tables,
         )

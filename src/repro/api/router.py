@@ -136,6 +136,10 @@ class Router:
             :func:`repro.runtime.traffic.run_workload`).
         executor: default shard executor (``"serial"`` / ``"threads"``
             / ``"processes"``; ``None`` auto-selects per engine).
+        tables: compiled-table family for the vectorized engine
+            (``"dense"`` / ``"blocked"`` / ``"auto"``; ``"auto"`` picks
+            dense under the size threshold, blocked above it.  All
+            families serve bit-identical results).
     """
 
     def __init__(
@@ -146,12 +150,14 @@ class Router:
         engine: str = "auto",
         jobs: Optional[int] = None,
         executor: Optional[str] = None,
+        tables: str = "auto",
     ):
         self._scheme = scheme
         self._oracle = oracle
-        self._sim = Simulator(scheme, hop_limit=hop_limit)
+        self._sim = Simulator(scheme, hop_limit=hop_limit, tables=tables)
         self._hop_limit = hop_limit
         self._engine = engine
+        self._table_family = tables
         self._jobs = jobs
         self._executor = executor
         self._queries = 0
@@ -184,6 +190,12 @@ class Router:
         """The concrete engine a batched call would use (``None``
         resolves the session default)."""
         return self._sim.resolve_engine(engine or self._engine)
+
+    def resolve_tables(self) -> Optional[str]:
+        """The concrete compiled-table family vectorized serving uses
+        (``"dense"`` / ``"blocked"``), or ``None`` when the scheme does
+        not compile."""
+        return self._sim.resolve_tables()
 
     def _account_batch(
         self, engine: str, pairs: int, seconds: float, shards: int = 1
@@ -295,6 +307,7 @@ class Router:
             shard_size=shard_size,
             jobs=jobs,
             executor=executor,
+            tables=self._table_family,
         )
         executed_shards = num_shards(
             summary.pairs, shards=shards, shard_size=shard_size, jobs=jobs

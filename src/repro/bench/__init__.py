@@ -17,11 +17,13 @@ Surfaced on the command line as ``repro bench``.
 """
 
 from repro.bench.compare import (
+    ABS_FLOOR_B,
     ABS_FLOOR_S,
     DEFAULT_BASELINE,
     CaseVerdict,
     Comparison,
     VERDICTS,
+    allowed_band_bytes,
     allowed_band_s,
     compare_runs,
     compare_to_baseline,
@@ -60,6 +62,7 @@ from repro.bench.runner import (
 )
 
 __all__ = [
+    "ABS_FLOOR_B",
     "ABS_FLOOR_S",
     "ARTIFACT_PREFIX",
     "AXES",
@@ -77,6 +80,7 @@ __all__ = [
     "UnknownCaseError",
     "VERDICTS",
     "all_cases",
+    "allowed_band_bytes",
     "allowed_band_s",
     "available_cores",
     "bench_case",

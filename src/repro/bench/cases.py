@@ -22,7 +22,12 @@ Each case names one kernel the repo's perf story depends on:
   latency, coalesced multi-client throughput through the batching
   broker, and the direct in-process ``route_many`` baseline the
   daemon's overhead is judged against (one shared background daemon
-  per graph size, started lazily and torn down at process exit).
+  per graph size, started lazily and torn down at process exit);
+* **memory** — the compiled-table memory story: tracemalloc peaks of
+  the dense versus blocked/landmark table builds and of streaming
+  blocked first-hop iteration (every case records ``peak_bytes``, but
+  these are the ones whose *memory* band, not timing band, is the
+  point — a blocked path silently densifying trips the comparator).
 
 Sizes mirror the pytest-benchmark modules under ``benchmarks/`` (which
 time these same registered thunks), and every count is routed through
@@ -460,3 +465,89 @@ def _serve_route_many_direct(ctx: BenchContext):
     pairs = list(wl.pairs)
     router.route_many(pairs[:4])  # compile outside the timing
     return lambda: router.route_many(pairs)
+
+
+# ----------------------------------------------------------------------
+# memory axis: dense vs blocked compiled-table footprints
+# ----------------------------------------------------------------------
+
+def _register_substrate_table_memory_case(label: str, tables: str, n: int = 128):
+    structure = ("landmark-factored step tables"
+                 if tables == "blocked" else "dense (n,n) step tables")
+
+    @bench_case(
+        f"memory/stretch6/tables/{label}",
+        axis="memory",
+        summary=(f"tracemalloc peak compiling {structure} for the "
+                 f"stretch-6 substrate (random, n={n})"),
+        tags={"scheme": "stretch6", "family": "random", "tables": tables},
+    )
+    def _setup(ctx: BenchContext):
+        from repro.runtime.engine import compile_substrate_tables
+
+        net = ctx.network("random", n)
+        scheme = net.build_scheme("stretch6")
+        substrate = scheme.rtz
+
+        def run():
+            # Drop the substrate-level caches so every execution pays
+            # the full build; the traced pass then sees the real
+            # footprint, not a cache hit.
+            substrate.__dict__.pop("_compiled_step_tables", None)
+            substrate.__dict__.pop("_compiled_landmark_tables", None)
+            return compile_substrate_tables(substrate, tables)
+
+        return run
+
+    return _setup
+
+
+_register_substrate_table_memory_case("dense", "dense")
+_register_substrate_table_memory_case("blocked", "blocked")
+
+
+@bench_case(
+    "memory/apsp/first_hop/blocked_stream",
+    axis="memory",
+    summary="tracemalloc peak streaming blocked first-hop blocks "
+            "without retaining them (random, n=128)",
+    tags={"family": "random", "tables": "blocked"},
+)
+def _memory_blocked_stream(ctx: BenchContext):
+    from repro.graph.blocked import iter_first_hop_blocks
+    from repro.graph.csr import CSRGraph
+
+    net = ctx.network("random", 128)
+    csr = CSRGraph.from_digraph(net.graph)
+    block_rows = max(1, net.n // 8)
+
+    def run() -> int:
+        # Fold the blocks into a checksum; no block outlives its
+        # iteration, so the peak is O(n * block_rows), not O(n^2).
+        acc = 0
+        for lo, _hi, block in iter_first_hop_blocks(csr, block_rows):
+            acc ^= int(block[0, (lo + 1) % block.shape[1]])
+        return acc
+
+    return run
+
+
+@bench_case(
+    "memory/traffic/stretch6/blocked",
+    axis="memory",
+    summary="tracemalloc peak of a blocked-tables workload run "
+            "end to end (random, n=64, 400 pairs)",
+    tags={"scheme": "stretch6", "workload": "uniform", "family": "random",
+          "tables": "blocked"},
+)
+def _memory_traffic_blocked(ctx: BenchContext):
+    net = ctx.network("random", 64)
+    scheme = net.build_scheme("stretch6")
+    wl = ctx.workload("uniform", net, 400, smoke_pairs=80, seed=37)
+    oracle = net.oracle()
+    # Compile outside the traced region: steady-state serving memory is
+    # what the band guards.
+    run_workload(scheme, wl.pairs[:4], oracle=oracle, engine="vectorized",
+                 tables="blocked")
+    return lambda: run_workload(scheme, wl, oracle=oracle,
+                                engine="vectorized", tables="blocked")

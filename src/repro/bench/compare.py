@@ -1,9 +1,15 @@
 """The trajectory comparator: diff a run against a committed baseline.
 
-Each case carries a relative **tolerance band**: a case regresses when
-its fresh median exceeds ``baseline_median * (1 + tolerance) +``
-:data:`ABS_FLOOR_S` (the absolute floor keeps sub-millisecond cases
-from flapping on scheduler noise).  Verdicts:
+Each case carries a relative **tolerance band** applied to both of its
+measurements: a case regresses when its fresh median exceeds
+``baseline_median * (1 + tolerance) +`` :data:`ABS_FLOOR_S` (the
+absolute floor keeps sub-millisecond cases from flapping on scheduler
+noise), or when its tracemalloc peak exceeds ``baseline_peak * (1 +
+tolerance) +`` :data:`ABS_FLOOR_B` (the 1 MiB floor shields
+allocation-free thunks from interpreter noise).  The memory band is
+what locks the blocked-tables ``o(n^2)`` story down: a blocked path
+silently densifying trips it long before the timing band notices.
+Verdicts:
 
 * ``pass`` — within the band (faster-than-baseline always passes);
 * ``regress`` — beyond the band; ``repro bench --check`` exits nonzero;
@@ -24,8 +30,13 @@ from typing import List, Optional
 
 from repro.bench.runner import BenchArtifactError, BenchRun, load_run
 
-#: Absolute slack added on top of every relative band, in seconds.
+#: Absolute slack added on top of every relative timing band, in seconds.
 ABS_FLOOR_S = 0.005
+
+#: Absolute slack added on top of every relative memory band, in bytes
+#: (1 MiB: interpreter/import noise dwarfs real table footprints only
+#: below this).
+ABS_FLOOR_B = 1 << 20
 
 #: Verdicts a case comparison can produce.
 VERDICTS = ("pass", "regress", "new-case", "missing-baseline")
@@ -39,6 +50,11 @@ def allowed_band_s(baseline_median_s: float, tolerance: float) -> float:
     return baseline_median_s * (1.0 + tolerance) + ABS_FLOOR_S
 
 
+def allowed_band_bytes(baseline_peak_bytes: float, tolerance: float) -> float:
+    """The largest fresh tracemalloc peak that still passes."""
+    return baseline_peak_bytes * (1.0 + tolerance) + ABS_FLOOR_B
+
+
 @dataclass(frozen=True)
 class CaseVerdict:
     """The comparison outcome of one case."""
@@ -49,6 +65,9 @@ class CaseVerdict:
     tolerance: float
     baseline_median_s: Optional[float] = None
     band_s: Optional[float] = None
+    run_peak_bytes: int = 0
+    baseline_peak_bytes: Optional[int] = None
+    band_bytes: Optional[float] = None
 
     @property
     def ratio(self) -> Optional[float]:
@@ -58,6 +77,16 @@ class CaseVerdict:
         if self.baseline_median_s <= 0:
             return float("inf")
         return self.run_median_s / self.baseline_median_s
+
+    @property
+    def mem_ratio(self) -> Optional[float]:
+        """``run / baseline`` tracemalloc peaks (``None`` without a
+        baseline; ``inf`` against a zero-byte baseline peak)."""
+        if self.baseline_peak_bytes is None:
+            return None
+        if self.baseline_peak_bytes <= 0:
+            return float("inf") if self.run_peak_bytes else 1.0
+        return self.run_peak_bytes / self.baseline_peak_bytes
 
 
 @dataclass
@@ -89,16 +118,20 @@ class Comparison:
         """A human-readable verdict table."""
         lines = []
         header = (f"{'case':<44} {'baseline':>10} {'run':>10} "
-                  f"{'ratio':>7}  verdict")
+                  f"{'ratio':>7} {'mem':>9} {'memx':>7}  verdict")
         lines.append(header)
         lines.append("-" * len(header))
         for v in self.verdicts:
             base = ("-" if v.baseline_median_s is None
                     else f"{v.baseline_median_s * 1000:.1f}ms")
             ratio = "-" if v.ratio is None else f"{v.ratio:.2f}x"
+            mem = f"{v.run_peak_bytes / (1 << 20):.1f}MB"
+            memx = ("-" if v.mem_ratio is None
+                    else "inf" if v.mem_ratio == float("inf")
+                    else f"{v.mem_ratio:.2f}x")
             lines.append(
                 f"{v.name:<44} {base:>10} {v.run_median_s * 1000:>8.1f}ms "
-                f"{ratio:>7}  {v.verdict}"
+                f"{ratio:>7} {mem:>9} {memx:>7}  {v.verdict}"
             )
         counts = self.counts()
         summary = ", ".join(
@@ -142,6 +175,7 @@ def compare_runs(run: BenchRun, baseline: Optional[BenchRun]) -> Comparison:
                 verdict="missing-baseline",
                 run_median_s=result.median_s,
                 tolerance=result.tolerance,
+                run_peak_bytes=result.peak_bytes,
             ))
             continue
         base = baseline.result(result.name)
@@ -151,16 +185,23 @@ def compare_runs(run: BenchRun, baseline: Optional[BenchRun]) -> Comparison:
                 verdict="new-case",
                 run_median_s=result.median_s,
                 tolerance=result.tolerance,
+                run_peak_bytes=result.peak_bytes,
             ))
             continue
         band = allowed_band_s(base.median_s, result.tolerance)
+        band_b = allowed_band_bytes(base.peak_bytes, result.tolerance)
+        within = (result.median_s <= band
+                  and result.peak_bytes <= band_b)
         verdicts.append(CaseVerdict(
             name=result.name,
-            verdict="pass" if result.median_s <= band else "regress",
+            verdict="pass" if within else "regress",
             run_median_s=result.median_s,
             tolerance=result.tolerance,
             baseline_median_s=base.median_s,
             band_s=band,
+            run_peak_bytes=result.peak_bytes,
+            baseline_peak_bytes=base.peak_bytes,
+            band_bytes=band_b,
         ))
     ran = {r.name for r in run.results}
     not_run = ([] if baseline is None

@@ -3,7 +3,8 @@
 Mirrors :mod:`repro.api.registry`: every benchmark case registers
 itself with the :func:`bench_case` decorator, declaring a unique name,
 its measurement **axis** (``build`` / ``apsp`` / ``routing`` /
-``traffic`` / ``shard`` / ``store``), a regression tolerance, and a
+``traffic`` / ``shard`` / ``store`` / ``serve`` / ``memory``), a
+regression tolerance, and a
 *setup* function.  Setup receives a :class:`repro.bench.runner.BenchContext`
 (which owns the shared :class:`~repro.api.Network` cache and the
 smoke-mode size clamps), does every expensive one-time preparation —
@@ -39,7 +40,10 @@ class UnknownCaseError(ReproError):
 
 
 #: The measurement axes the suite covers (ordered as reported).
-AXES = ("build", "apsp", "routing", "traffic", "shard", "store", "serve")
+AXES = (
+    "build", "apsp", "routing", "traffic", "shard", "store", "serve",
+    "memory",
+)
 
 #: Default relative tolerance band: a case regresses when its median
 #: exceeds ``baseline * (1 + tolerance)`` (plus the comparator's small

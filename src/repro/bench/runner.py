@@ -7,7 +7,9 @@ pytest-benchmark path and ``repro bench`` share instances), the
 smoke-mode size clamps, and workload generation.
 
 :func:`run_cases` executes registered cases with warmup + repetition
-control and records per-case medians and interquartile ranges;
+control and records per-case medians, interquartile ranges, and the
+tracemalloc peak of one traced execution (the **memory** measurement
+the comparator bands alongside the timing);
 :func:`write_artifact` serializes the resulting :class:`BenchRun` —
 including the host fingerprint from
 :func:`repro.bench.env.environment_fingerprint` — into a versioned
@@ -23,6 +25,7 @@ import math
 import random
 import statistics
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -46,7 +49,8 @@ from repro.graph.generators import (
 from repro.runtime.traffic import Workload, generate_workload
 
 #: Artifact schema tag; bump on any incompatible layout change.
-SCHEMA = "repro-bench/1"
+#: ``/2`` added the per-case ``peak_bytes`` memory measurement.
+SCHEMA = "repro-bench/2"
 
 #: Artifact filename prefix (the CI job uploads ``BENCH_*.json``).
 ARTIFACT_PREFIX = "BENCH_"
@@ -193,6 +197,9 @@ class CaseResult:
     tolerance: float
     warmup: int
     samples_s: Tuple[float, ...]
+    #: tracemalloc peak of one traced thunk execution (0 when the
+    #: traced pass was skipped, e.g. synthetic results).
+    peak_bytes: int = 0
 
     @property
     def repeats(self) -> int:
@@ -226,6 +233,7 @@ class CaseResult:
             "median_s": self.median_s,
             "iqr_s": self.iqr_s,
             "min_s": self.min_s,
+            "peak_bytes": self.peak_bytes,
         }
 
     @classmethod
@@ -237,6 +245,7 @@ class CaseResult:
             tolerance=float(doc["tolerance"]),
             warmup=int(doc["warmup"]),
             samples_s=tuple(float(s) for s in doc["samples_s"]),
+            peak_bytes=int(doc.get("peak_bytes", 0)),
         )
 
 
@@ -283,6 +292,26 @@ class BenchRun:
 
 def _utcnow() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _traced_peak(thunk: Callable[[], Any]) -> int:
+    """Peak tracemalloc bytes of one thunk execution.
+
+    Runs outside the timed repetitions (tracing slows allocation by
+    integer factors, which would poison the latency samples).  An
+    ambient tracer — e.g. pytest started with ``-X tracemalloc`` — is
+    reused rather than stopped out from under its owner.
+    """
+    if tracemalloc.is_tracing():
+        tracemalloc.reset_peak()
+        thunk()
+        return int(tracemalloc.get_traced_memory()[1])
+    tracemalloc.start()
+    try:
+        thunk()
+        return int(tracemalloc.get_traced_memory()[1])
+    finally:
+        tracemalloc.stop()
 
 
 def run_cases(
@@ -333,6 +362,7 @@ def run_cases(
                 t0 = time.perf_counter()
                 thunk()
                 samples.append(time.perf_counter() - t0)
+            peak_bytes = _traced_peak(thunk)
         result = CaseResult(
             name=case.name,
             axis=case.axis,
@@ -340,6 +370,7 @@ def run_cases(
             tolerance=case.tolerance,
             warmup=warmup,
             samples_s=tuple(samples),
+            peak_bytes=peak_bytes,
         )
         run.results.append(result)
         if progress is not None:
@@ -376,7 +407,7 @@ def write_artifact(run: BenchRun, out_dir: str | Path = ".") -> Path:
 
 
 def validate_doc(doc: Any) -> None:
-    """Check one artifact document against the ``repro-bench/1`` schema.
+    """Check one artifact document against the ``repro-bench/2`` schema.
 
     Raises:
         BenchArtifactError: describing the first violation found.
@@ -419,6 +450,9 @@ def validate_doc(doc: Any) -> None:
         warmup = r.get("warmup")
         if not isinstance(warmup, int) or isinstance(warmup, bool) or warmup < 0:
             fail(f"{where}.warmup missing or not an integer >= 0")
+        peak = r.get("peak_bytes")
+        if not isinstance(peak, int) or isinstance(peak, bool) or peak < 0:
+            fail(f"{where}.peak_bytes missing or not an integer >= 0")
         if not r["samples_s"] or not all(
             isinstance(s, (int, float)) and not isinstance(s, bool)
             and math.isfinite(s) and s >= 0

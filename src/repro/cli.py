@@ -40,6 +40,7 @@ from repro.api.network import ENGINES
 from repro.api.stats import SessionStats
 from repro.distributed.preprocessing import DistributedPreprocessing
 from repro.exceptions import GraphError, ReproError, RoutingError
+from repro.runtime.engine import TABLE_FAMILIES
 from repro.runtime.scheme import RoutingScheme
 from repro.runtime.traffic import (
     WORKLOAD_KINDS,
@@ -78,6 +79,7 @@ def _network(args: argparse.Namespace) -> Network:
             args.n,
             seed=args.seed,
             engine=getattr(args, "engine", "auto"),
+            tables=getattr(args, "tables", "auto"),
         )
     except GraphError as exc:
         raise SystemExit(str(exc))
@@ -205,9 +207,11 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         print(f"scheme     : {scheme.name} on {args.family} (n={net.n})")
         print(f"build time : {build_s * 1000:.1f} ms"
               + ("  (shared artifacts reused)" if i else ""))
-        print(f"engine     : {resolved}"
-              + ("  (compiled decision tables)"
-                 if resolved == "vectorized" else ""))
+        if resolved == "vectorized":
+            print(f"engine     : {resolved}  (compiled decision tables, "
+                  f"tables={router.resolve_tables()})")
+        else:
+            print(f"engine     : {resolved}")
         if args.jobs is not None or args.shard_size is not None:
             shards = num_shards(
                 len(workload), shard_size=args.shard_size, jobs=args.jobs
@@ -253,7 +257,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     def show(result: bench.CaseResult) -> None:
         print(f"  {result.name:<44} {result.median_s * 1000:>9.1f} ms  "
-              f"(iqr {result.iqr_s * 1000:.2f} ms, x{result.repeats})")
+              f"(iqr {result.iqr_s * 1000:.2f} ms, x{result.repeats}, "
+              f"peak {result.peak_bytes / (1 << 20):.1f} MB)")
 
     if args.rebaseline and args.filter:
         # A partial run must never overwrite the other cases' entries.
@@ -397,6 +402,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         n=args.n,
         seed=args.seed,
         engine=args.engine,
+        tables=getattr(args, "tables", "auto"),
         schemes=tuple(schemes),
         host=args.host,
         port=args.port,
@@ -530,6 +536,7 @@ def _client_batch(args: argparse.Namespace, client) -> int:
         net = Network.from_family(
             args.family, args.n, seed=args.seed,
             engine=getattr(args, "engine", "auto"),
+            tables=getattr(args, "tables", "auto"),
         )
         try:
             results = net.router(args.scheme or "stretch6").route_many(pairs)
@@ -622,6 +629,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="distance-oracle and routing-execution engine "
             "(auto / vectorized / python); traffic executes its "
             "workload through this engine",
+        )
+        p.add_argument(
+            "--tables",
+            default="auto",
+            choices=TABLE_FAMILIES,
+            help="compiled-table family for the vectorized engine: "
+            "dense (n^2 matrices), blocked (sparse/blocked structures "
+            "with o(n^2) resident memory), or auto (dense below the "
+            "size threshold, blocked above); routing is bit-identical "
+            "across families",
         )
         store_opts(p)
 
@@ -857,6 +874,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "(--offline only)")
     sp.add_argument("--engine", default="auto", choices=ENGINES,
                     help="routing engine (--offline only)")
+    sp.add_argument("--tables", default="auto", choices=TABLE_FAMILIES,
+                    help="compiled-table family (--offline only)")
     store_opts(sp)
     client_opts(sp)
     sp = client_sub.add_parser(

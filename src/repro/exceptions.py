@@ -23,6 +23,21 @@ class NotStronglyConnectedError(GraphError):
     digraph that is not strongly connected."""
 
 
+class TableTooLargeError(GraphError):
+    """Raised instead of silently allocating an ``(n, n)`` table when
+    ``n`` exceeds the dense-table threshold.
+
+    Dense structures (``CSRGraph.dense_weights()``,
+    ``DistanceOracle.first_hop_matrix()``) are quadratic in memory; above
+    :func:`repro.graph.limits.dense_table_max_n` they would OOM a
+    laptop-class host long before numpy reported anything useful.  The
+    blocked/landmark table family (``--tables blocked``) is the supported
+    path at that scale; the threshold can be raised explicitly via the
+    ``REPRO_DENSE_MAX_N`` environment variable when the memory is truly
+    available.
+    """
+
+
 class NamingError(ReproError):
     """Raised for invalid node-name assignments (non-permutations,
     out-of-range names, hash-family misuse)."""

@@ -27,6 +27,7 @@ import weakref
 import numpy as np
 
 from repro.graph.digraph import Digraph
+from repro.graph.limits import check_dense_table
 
 # One snapshot per frozen graph: a frozen Digraph's topology can never
 # change, so its CSR form is built once and shared (the key is weak so
@@ -38,6 +39,13 @@ _SNAPSHOT_CACHE: "weakref.WeakKeyDictionary[Digraph, CSRGraph]" = (
 # Dense (n, n) weight matrices, one per snapshot (built on first use by
 # the vectorized routing engine; dies with its snapshot).
 _DENSE_WEIGHT_CACHE: "weakref.WeakKeyDictionary[CSRGraph, object]" = (
+    weakref.WeakKeyDictionary()
+)
+
+# Sorted (tail * n + head) edge keys + aligned weights, one per
+# snapshot: the O(m) sparse replacement for the dense weight matrix
+# used by the vectorized engine's per-sweep cost charging.
+_PAIR_LOOKUP_CACHE: "weakref.WeakKeyDictionary[CSRGraph, object]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -189,11 +197,12 @@ class CSRGraph:
         """The ``(n, n)`` dense weight matrix (``nan`` where no edge),
         built once per snapshot and shared read-only.
 
-        The vectorized routing engine charges ``W[at, next]`` per
-        frontier sweep; values are the exact float64 weights
-        :meth:`Digraph.weight` returns, so batched cost accumulation
-        is bit-equal to the hop-by-hop simulator's.
+        Values are the exact float64 weights :meth:`Digraph.weight`
+        returns.  Raises :class:`~repro.exceptions.TableTooLargeError`
+        above the configured dense-table threshold instead of OOMing;
+        use :meth:`pair_weights` for O(m)-memory lookups at any scale.
         """
+        check_dense_table(self.n, "weight matrix")
         cached = _DENSE_WEIGHT_CACHE.get(self)
         if cached is None:
             w = np.full((self.n, self.n), np.nan, dtype=np.float64)
@@ -204,6 +213,41 @@ class CSRGraph:
             w.flags.writeable = False
             cached = _DENSE_WEIGHT_CACHE[self] = w
         return cached
+
+    def pair_weights(self, tails: np.ndarray, heads: np.ndarray) -> np.ndarray:
+        """Weights of the ``(tails[i], heads[i])`` edges, ``nan`` where
+        no such edge exists.
+
+        Sparse counterpart of ``dense_weights()[tails, heads]``: edges
+        are keyed as ``tail * n + head`` in a sorted int64 array built
+        once per snapshot (O(m) memory), and queries resolve by binary
+        search.  Values are the identical float64 objects, so swapping
+        this in for the dense gather leaves batched cost accumulation
+        bit-equal.
+        """
+        lookup = _PAIR_LOOKUP_CACHE.get(self)
+        if lookup is None:
+            edge_tails = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.out_degrees()
+            )
+            keys = edge_tails * np.int64(self.n) + self.out_heads
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            values = self.out_weights[order]
+            keys.flags.writeable = False
+            values.flags.writeable = False
+            lookup = _PAIR_LOOKUP_CACHE[self] = (keys, values)
+        keys, values = lookup
+        queries = (
+            np.asarray(tails, dtype=np.int64) * np.int64(self.n)
+            + np.asarray(heads, dtype=np.int64)
+        )
+        if keys.shape[0] == 0:
+            return np.full(queries.shape[0], np.nan, dtype=np.float64)
+        pos = np.searchsorted(keys, queries)
+        np.minimum(pos, keys.shape[0] - 1, out=pos)
+        found = keys[pos] == queries
+        return np.where(found, values[pos], np.nan)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CSRGraph(n={self.n}, m={self.m})"

@@ -350,7 +350,14 @@ class DistanceOracle:
         This is the compiled form of full-table forwarding: the
         vectorized routing engine gathers ``F[at, dest]`` per frontier
         sweep instead of walking parent chains per packet.
+
+        Raises :class:`~repro.exceptions.TableTooLargeError` above the
+        configured dense-table threshold instead of OOMing; the blocked
+        table family (:meth:`first_hop_block`) covers that regime.
         """
+        from repro.graph.limits import check_dense_table
+
+        check_dense_table(self.n, "first-hop matrix")
         cached = getattr(self, "_first_hop", None)
         if cached is not None:
             return cached
@@ -388,6 +395,17 @@ class DistanceOracle:
                 build_seconds=time.perf_counter() - t0,
             )
         return first
+
+    def first_hop_block(self, lo: int, hi: int) -> np.ndarray:
+        """Rows ``lo:hi`` of :meth:`first_hop_matrix`, computed with
+        ``O((hi - lo) * n)`` peak memory from the cached parent trees
+        (each row is a pure function of its own tree, so the block is
+        bit-identical to the corresponding dense slice)."""
+        from repro.graph.blocked import first_hops_from_parents
+
+        return first_hops_from_parents(
+            np.asarray(self._parent[lo:hi], dtype=np.int32), lo
+        )
 
     def _first_hop_store_key(self):
         """``(store, key)`` for the persisted first-hop matrix, or

@@ -312,6 +312,7 @@ class RTZStretch3:
         """
         state = dict(self.__dict__)
         state.pop("_compiled_step_tables", None)
+        state.pop("_compiled_landmark_tables", None)
         return state
 
     # ------------------------------------------------------------------

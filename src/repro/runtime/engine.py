@@ -48,13 +48,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import HopLimitExceeded, TableLookupError
+from repro.exceptions import HopLimitExceeded, RoutingError, TableLookupError
 from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Digraph
+from repro.graph.limits import dense_table_max_n
 from repro.runtime.simulator import (  # noqa: F401  (re-export)
     EXECUTION_ENGINES,
     LegTrace,
@@ -66,6 +67,29 @@ from repro.runtime.simulator import (  # noqa: F401  (re-export)
 PHASE_DIRECT = 0
 PHASE_UP = 1
 PHASE_DOWN = 2
+
+#: Compiled-table families: ``dense`` is the original (n, n) matrices,
+#: ``blocked`` the sparse/blocked structures (BlockedNextHop /
+#: LandmarkTables), ``auto`` picks by graph size.
+TABLE_FAMILIES = ("auto", "dense", "blocked")
+
+
+def resolve_table_family(tables: str, n: int) -> str:
+    """Resolve a ``--tables`` value to a concrete family.
+
+    ``auto`` selects ``dense`` while the graph fits under the
+    dense-table threshold (:func:`repro.graph.limits.dense_table_max_n`)
+    and ``blocked`` beyond it, so big graphs never trip
+    :class:`~repro.exceptions.TableTooLargeError` by default.
+    """
+    if tables not in TABLE_FAMILIES:
+        raise RoutingError(
+            f"unknown table family {tables!r}; expected one of "
+            f"{', '.join(TABLE_FAMILIES)}"
+        )
+    if tables == "auto":
+        return "dense" if n <= dense_table_max_n() else "blocked"
+    return tables
 
 
 # ----------------------------------------------------------------------
@@ -117,6 +141,109 @@ class DenseNextHop(StepTables):
                 f"{int(target[bad])}"
             )
         return nxt, phase
+
+
+class BlockedNextHop(StepTables):
+    """Row-blocked first-hop step tables (the sparse ``DenseNextHop``).
+
+    The ``(n, n)`` next-vertex matrix is split into row blocks of
+    ``block_rows`` sources each; block ``b`` holds rows
+    ``[b * block_rows, min(n, (b + 1) * block_rows))``.  Blocks are
+    built by streaming source-blocked APSP (never materializing the
+    full matrix) and persisted individually, so later processes
+    memory-map exactly the blocks they touch.  Lookups gather per
+    block but return results in the original batch order, so the
+    decision function — values, phases, and the first-failure error —
+    is bit-identical to :class:`DenseNextHop`.
+    """
+
+    def __init__(self, n: int, block_rows: int, blocks: Sequence[np.ndarray]):
+        self.n = int(n)
+        self.block_rows = int(block_rows)
+        self.blocks = list(blocks)
+
+    def nbytes(self) -> int:
+        """Bytes resident across all currently-loaded blocks."""
+        return sum(int(blk.nbytes) for blk in self.blocks)
+
+    def begin_phase(self, at: np.ndarray, target: np.ndarray) -> np.ndarray:
+        return np.zeros(at.shape[0], dtype=np.int8)
+
+    def step(
+        self, at: np.ndarray, target: np.ndarray, phase: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        nxt = np.empty(at.shape[0], dtype=np.int64)
+        bidx = at // self.block_rows
+        for b in np.unique(bidx):
+            sel = bidx == b
+            block = self.blocks[int(b)]
+            nxt[sel] = block[at[sel] - int(b) * self.block_rows, target[sel]]
+        if (nxt < 0).any():
+            bad = int(np.flatnonzero(nxt < 0)[0])
+            raise TableLookupError(
+                f"no compiled next hop at vertex {int(at[bad])} toward "
+                f"{int(target[bad])}"
+            )
+        return nxt, phase
+
+
+def compile_blocked_next_hop(
+    oracle, block_rows: Optional[int] = None
+) -> BlockedNextHop:
+    """Build :class:`BlockedNextHop` tables from a distance oracle,
+    one source block at a time.
+
+    Each block is computed via :meth:`DistanceOracle.first_hop_block`
+    (peak memory ``O(block_rows * n)``) and, when the artifact store is
+    active, persisted under its own ``first-hop-block`` key — keyed by
+    (graph content hash, block geometry) — so warm processes
+    memory-map blocks instead of recomputing them.
+    """
+    from repro.graph.blocked import default_block_rows
+
+    n = oracle.n
+    g = oracle.graph
+    if block_rows is None:
+        block_rows = default_block_rows(n)
+    block_rows = max(1, min(max(n, 1), int(block_rows)))
+
+    store = None
+    ghash = None
+    if g.frozen:
+        from repro.store import default_store, graph_content_hash
+
+        store = default_store()
+        if store is not None:
+            ghash = graph_content_hash(g)
+
+    blocks: List[np.ndarray] = []
+    for lo in range(0, n, block_rows):
+        hi = min(n, lo + block_rows)
+        store_key = None
+        if store is not None:
+            from repro.store import StoreKey
+
+            store_key = StoreKey(
+                "first-hop-block",
+                1,
+                {"graph": ghash, "rows": block_rows, "lo": lo},
+            )
+            entry = store.get(store_key)
+            if entry is not None and entry.arrays["first"].shape == (hi - lo, n):
+                blocks.append(entry.arrays["first"])
+                continue
+        t0 = time.perf_counter()
+        block = oracle.first_hop_block(lo, hi)
+        block.flags.writeable = False
+        if store_key is not None:
+            store.put(
+                store_key,
+                {"first": block},
+                meta={"lo": lo, "rows": block_rows},
+                build_seconds=time.perf_counter() - t0,
+            )
+        blocks.append(block)
+    return BlockedNextHop(n, block_rows, blocks)
 
 
 class SubstrateStepTables(StepTables):
@@ -187,11 +314,249 @@ class SubstrateStepTables(StepTables):
         return nxt, phase
 
 
-def compile_substrate_tables(substrate) -> SubstrateStepTables:
-    """Compile an :class:`~repro.rtz.routing.RTZStretch3` substrate's
-    three forwarding structures into dense arrays.
+def _sorted_pair_lookup(
+    keys: np.ndarray,
+    values: np.ndarray,
+    at: np.ndarray,
+    target: np.ndarray,
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Query a sorted ``(u * n + v) -> next`` table by binary search.
 
-    The result is cached on the substrate object, so every scheme
+    Returns ``(next_vertices, found)`` with ``-1`` where the pair has
+    no entry — the sparse analogue of gathering a ``-1``-filled dense
+    matrix at ``[at, target]``.
+    """
+    queries = at.astype(np.int64) * np.int64(n) + target.astype(np.int64)
+    if keys.shape[0] == 0:
+        return (
+            np.full(queries.shape[0], -1, dtype=np.int64),
+            np.zeros(queries.shape[0], dtype=bool),
+        )
+    pos = np.searchsorted(keys, queries)
+    np.minimum(pos, keys.shape[0] - 1, out=pos)
+    found = keys[pos] == queries
+    nxt = np.where(found, values[pos], -1).astype(np.int64)
+    return nxt, found
+
+
+class LandmarkTables(StepTables):
+    """Landmark-factored substrate step tables with o(n²) memory.
+
+    Same decision function as :class:`SubstrateStepTables` — the paper's
+    Lemma 2 direct / up-tree / down-tree factorization — but the two
+    quadratic matrices become sorted sparse pair tables:
+
+    * ``direct`` holds one entry per cluster membership (Θ(n·√n) for
+      the balanced RTZ clusters), replacing both ``direct_next`` and
+      ``has_direct``;
+    * ``down`` holds one entry per (ancestor, descendant) slot on a
+      canonical ``center(v) -> v`` path — at most one entry per
+      (vertex on path, v), i.e. O(n · avg path length);
+    * ``up_next`` stays dense at ``(n, C)`` = O(n·√n).
+
+    Every lookup returns the identical int32 next-vertex values the
+    dense tables hold, so routing is bit-identical across families.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        direct_keys: np.ndarray,
+        direct_next: np.ndarray,
+        down_keys: np.ndarray,
+        down_next: np.ndarray,
+        up_next: np.ndarray,
+        center_of: np.ndarray,
+        center_idx: np.ndarray,
+    ):
+        self.n = int(n)
+        self.direct_keys = direct_keys
+        self.direct_next = direct_next
+        self.down_keys = down_keys
+        self.down_next = down_next
+        self.up_next = up_next
+        self.center_of = center_of
+        self.center_idx = center_idx
+
+    def nbytes(self) -> int:
+        """Bytes across every table (the o(n²) claim is testable)."""
+        return sum(
+            int(arr.nbytes)
+            for arr in (
+                self.direct_keys, self.direct_next, self.down_keys,
+                self.down_next, self.up_next, self.center_of,
+                self.center_idx,
+            )
+        )
+
+    def begin_phase(self, at: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _, has_direct = _sorted_pair_lookup(
+            self.direct_keys, self.direct_next, at, target, self.n
+        )
+        direct = (at == target) | has_direct
+        at_center = at == self.center_of[target]
+        return np.where(
+            direct, PHASE_DIRECT, np.where(at_center, PHASE_DOWN, PHASE_UP)
+        ).astype(np.int8)
+
+    def step(
+        self, at: np.ndarray, target: np.ndarray, phase: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        center = self.center_of[target]
+        phase = np.where(
+            (phase == PHASE_UP) & (at == center), PHASE_DOWN, phase
+        ).astype(np.int8)
+        direct_nxt, _ = _sorted_pair_lookup(
+            self.direct_keys, self.direct_next, at, target, self.n
+        )
+        down_nxt, _ = _sorted_pair_lookup(
+            self.down_keys, self.down_next, at, target, self.n
+        )
+        nxt = np.where(
+            phase == PHASE_DIRECT,
+            direct_nxt,
+            np.where(
+                phase == PHASE_UP,
+                self.up_next[at, self.center_idx[target]],
+                down_nxt,
+            ),
+        )
+        if (nxt < 0).any():
+            bad = int(np.flatnonzero(nxt < 0)[0])
+            raise TableLookupError(
+                f"no compiled substrate entry at vertex {int(at[bad])} "
+                f"toward {int(target[bad])} (phase {int(phase[bad])})"
+            )
+        return nxt, phase
+
+
+def compile_landmark_tables(substrate) -> LandmarkTables:
+    """Compile a substrate into :class:`LandmarkTables` (the blocked /
+    sparse family counterpart of :func:`compile_substrate_tables`).
+
+    Cached on the substrate (``_compiled_landmark_tables``) and, when
+    the artifact store is active, persisted under a
+    ``landmark-tables`` key so warm processes memory-map the sorted
+    pair tables instead of rebuilding them.
+    """
+    cached = getattr(substrate, "_compiled_landmark_tables", None)
+    if cached is not None:
+        return cached
+    g: Digraph = substrate.metric.oracle.graph
+    n = g.n
+    centers = substrate.centers
+
+    from repro.store import StoreKey, default_store, graph_content_hash
+
+    store = default_store()
+    store_key = None
+    if store is not None and g.frozen:
+        store_key = StoreKey(
+            "landmark-tables",
+            1,
+            {"graph": graph_content_hash(g), "centers": [int(c) for c in centers]},
+        )
+        entry = store.get(store_key)
+        if entry is not None and entry.arrays["up_next"].shape == (
+            n, len(centers),
+        ):
+            a = entry.arrays
+            tables = LandmarkTables(
+                n, a["direct_keys"], a["direct_next"],
+                a["down_keys"], a["down_next"], a["up_next"],
+                a["center_of"], a["center_idx"],
+            )
+            substrate._compiled_landmark_tables = tables
+            return tables
+    t0 = time.perf_counter()
+    cindex = {c: i for i, c in enumerate(centers)}
+
+    direct_pairs: List[Tuple[int, int]] = []
+    for u in range(n):
+        for v, port in substrate._direct[u].items():
+            direct_pairs.append((u * n + v, g.head_of_port(u, port)))
+    direct_keys, direct_next = _pack_pair_table(direct_pairs)
+
+    up_next = np.full((n, len(centers)), -1, dtype=np.int32)
+    for ci, c in enumerate(centers):
+        in_tree = substrate._in_trees[c]
+        for u in range(n):
+            if u == c:
+                continue
+            up_next[u, ci] = g.head_of_port(u, in_tree.next_port(u))
+
+    center_of = np.empty(n, dtype=np.int32)
+    center_idx = np.empty(n, dtype=np.int32)
+    down_pairs: List[Tuple[int, int]] = []
+    parents = {
+        c: substrate.metric.oracle.forward_tree_parents(c) for c in centers
+    }
+    for v in range(n):
+        c = substrate.assignment.home_center(v)
+        center_of[v] = c
+        center_idx[v] = cindex[c]
+        par = parents[c]
+        x = v
+        while x != c:
+            p = par[x]
+            down_pairs.append((p * n + v, x))
+            x = p
+
+    down_keys, down_next = _pack_pair_table(down_pairs)
+    tables = LandmarkTables(
+        n, direct_keys, direct_next, down_keys, down_next,
+        up_next, center_of, center_idx,
+    )
+    substrate._compiled_landmark_tables = tables
+    if store_key is not None:
+        store.put(
+            store_key,
+            {
+                "direct_keys": direct_keys,
+                "direct_next": direct_next,
+                "down_keys": down_keys,
+                "down_next": down_next,
+                "up_next": up_next,
+                "center_of": center_of,
+                "center_idx": center_idx,
+            },
+            meta={"centers": len(centers)},
+            build_seconds=time.perf_counter() - t0,
+        )
+    return tables
+
+
+def _pack_pair_table(
+    pairs: List[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sort ``(key, next_vertex)`` pairs into aligned lookup arrays.
+
+    Keys are unique by construction (one entry per table slot), so the
+    sorted form is canonical — store round-trips rehydrate the exact
+    same bytes.
+    """
+    if not pairs:
+        return (
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32),
+        )
+    arr = np.asarray(pairs, dtype=np.int64)
+    order = np.argsort(arr[:, 0], kind="stable")
+    keys = np.ascontiguousarray(arr[order, 0])
+    values = np.ascontiguousarray(arr[order, 1].astype(np.int32))
+    return keys, values
+
+
+def compile_substrate_tables(substrate, tables: str = "dense") -> StepTables:
+    """Compile an :class:`~repro.rtz.routing.RTZStretch3` substrate's
+    three forwarding structures into step tables.
+
+    ``tables="dense"`` yields the original :class:`SubstrateStepTables`
+    (three ``(n, n)`` arrays); ``tables="blocked"`` dispatches to
+    :func:`compile_landmark_tables`, the o(n²) landmark-factored form.
+    Both make identical decisions — the family only changes memory.
+
+    The dense result is cached on the substrate object, so every scheme
     sharing one substrate (stretch-6, its variant, wild names, the RTZ
     baseline — deduplicated by :func:`repro.rtz.routing.shared_substrate`)
     compiles it exactly once.
@@ -202,6 +567,8 @@ def compile_substrate_tables(substrate) -> SubstrateStepTables:
     the key — and later compiles (other processes, pool shard workers
     rehydrating a pickled scheme) memory-map them instead of rebuilding.
     """
+    if tables == "blocked":
+        return compile_landmark_tables(substrate)
     cached = getattr(substrate, "_compiled_step_tables", None)
     if cached is not None:
         return cached
@@ -324,12 +691,21 @@ class CompiledRoutes:
         tables: the within-leg step tables.
         planner: ``(sources, dest_vertices) -> JourneyPlan`` over int64
             vertex arrays.
+        family: which table family these routes were compiled with
+            (``"dense"`` or ``"blocked"``; surfaced in stats).
     """
 
-    def __init__(self, graph: Digraph, tables: StepTables, planner):
+    def __init__(
+        self,
+        graph: Digraph,
+        tables: StepTables,
+        planner,
+        family: str = "dense",
+    ):
         self.graph = graph
         self.tables = tables
         self._planner = planner
+        self.family = family
 
     def plan(self, sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
         """Compile a batch of (source, dest-vertex) pairs."""
@@ -341,6 +717,51 @@ def constant_bits(value: int, batch: int) -> np.ndarray:
     return np.full(batch, int(value), dtype=np.int64)
 
 
+class DenseKnowledge:
+    """Planner inputs for the dictionary-based schemes, dense form:
+    an ``(n, n)`` bool "holds the destination's label locally" matrix
+    plus the (already sub-quadratic) block-pointer tables."""
+
+    def __init__(
+        self, knows: np.ndarray, block_ptr: np.ndarray, bov: np.ndarray
+    ):
+        self._knows = knows
+        self.block_ptr = block_ptr
+        self.block_of_vertex = bov
+
+    def local(self, sources: np.ndarray, dests: np.ndarray) -> np.ndarray:
+        """Whether each source holds its destination's label locally."""
+        return self._knows[sources, dests]
+
+    def dict_node(self, sources: np.ndarray, dests: np.ndarray) -> np.ndarray:
+        """The dictionary holder each source consults for its dest."""
+        return self.block_ptr[sources, self.block_of_vertex[dests]]
+
+
+class SparseKnowledge(DenseKnowledge):
+    """Same planner answers from a sorted membership-key set instead of
+    the ``(n, n)`` bool matrix: each (node, known destination) pair is
+    one int64 key, Θ(n·√n) total for the paper's table sizes."""
+
+    def __init__(
+        self, n: int, keys: np.ndarray, block_ptr: np.ndarray, bov: np.ndarray
+    ):
+        super().__init__(None, block_ptr, bov)
+        self.n = int(n)
+        self.keys = keys
+
+    def local(self, sources: np.ndarray, dests: np.ndarray) -> np.ndarray:
+        queries = (
+            sources.astype(np.int64) * np.int64(self.n)
+            + dests.astype(np.int64)
+        )
+        if self.keys.shape[0] == 0:
+            return np.zeros(queries.shape[0], dtype=bool)
+        pos = np.searchsorted(self.keys, queries)
+        np.minimum(pos, self.keys.shape[0] - 1, out=pos)
+        return self.keys[pos] == queries
+
+
 def compile_knowledge(
     n: int,
     label_tables: Sequence[Sequence],
@@ -348,8 +769,9 @@ def compile_knowledge(
     block_ptr_tables: Sequence[dict],
     num_blocks: int,
     block_of_vertex,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Dense planner inputs shared by the dictionary-based schemes.
+    tables: str = "dense",
+) -> DenseKnowledge:
+    """Planner inputs shared by the dictionary-based schemes.
 
     Args:
         n: vertex count.
@@ -362,23 +784,33 @@ def compile_knowledge(
             (case 2).
         num_blocks: size of the block space.
         block_of_vertex: vertex -> responsible block index.
+        tables: ``"dense"`` builds the ``(n, n)`` bool matrix;
+            ``"blocked"`` builds the sorted-key :class:`SparseKnowledge`
+            (identical answers, Θ(table entries) memory).
 
     Returns:
-        ``(knows, block_ptr, block_of_vertex_arr)`` — an ``(n, n)``
-        bool matrix, an ``(n, num_blocks)`` int64 matrix, and an
-        ``(n,)`` int64 array.
+        A :class:`DenseKnowledge` (or :class:`SparseKnowledge`).
     """
-    knows = np.zeros((n, n), dtype=bool)
-    for table in label_tables:
-        for u in range(n):
-            for key in table[u]:
-                knows[u, resolve(key)] = True
     block_ptr = np.full((n, num_blocks), -1, dtype=np.int64)
     for u in range(n):
         for b, holder in block_ptr_tables[u].items():
             block_ptr[u, b] = holder
     bov = np.array([block_of_vertex(v) for v in range(n)], dtype=np.int64)
-    return knows, block_ptr, bov
+    if tables == "blocked":
+        raw_keys = [
+            u * n + resolve(key)
+            for table in label_tables
+            for u in range(n)
+            for key in table[u]
+        ]
+        keys = np.unique(np.asarray(raw_keys, dtype=np.int64))
+        return SparseKnowledge(n, keys, block_ptr, bov)
+    knows = np.zeros((n, n), dtype=bool)
+    for table in label_tables:
+        for u in range(n):
+            for key in table[u]:
+                knows[u, resolve(key)] = True
+    return DenseKnowledge(knows, block_ptr, bov)
 
 
 # ----------------------------------------------------------------------
@@ -414,7 +846,10 @@ def run_roundtrips(
     dests = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=batch)
     plan = compiled.plan(sources, dests)
     tables = compiled.tables
-    weights = CSRGraph.from_digraph(compiled.graph).dense_weights()
+    # Edge weights are charged through the O(m) sparse pair lookup (the
+    # dense matrix would reintroduce the n² memory the blocked tables
+    # remove); values and accumulation order are identical.
+    csr = CSRGraph.from_digraph(compiled.graph)
 
     num_legs = len(plan.legs)
     # Flatten the per-leg segment lists into (num_segs, batch) matrices;
@@ -521,7 +956,7 @@ def run_roundtrips(
         ap = pidx[active]
         tgt = target_mat[cur_seg[ap], ap]
         nxt, new_phase = tables.step(at[ap], tgt, phase[ap])
-        leg_cost[ap] += weights[at[ap], nxt]
+        leg_cost[ap] += csr.pair_weights(at[ap], nxt)
         leg_hops[ap] += 1
         leg_bits[ap] = np.maximum(leg_bits[ap], bits_mat[cur_seg[ap], ap])
         log_idx.append(ap)

@@ -108,9 +108,10 @@ class RoutingScheme(abc.ABC):
     # ------------------------------------------------------------------
     # compiled execution (the batched fast path)
     # ------------------------------------------------------------------
-    def compile_tables(self):
-        """Compile this scheme's forwarding function into dense
-        vectorized decision tables.
+    def compile_tables(self, tables: str = "dense"):
+        """Compile this scheme's forwarding function into vectorized
+        decision tables of the given (already-resolved) family
+        (``"dense"`` or ``"blocked"``).
 
         Returns a :class:`repro.runtime.engine.CompiledRoutes` when the
         scheme's headers are segment-wise structurally constant (see
@@ -120,13 +121,37 @@ class RoutingScheme(abc.ABC):
         """
         return None
 
-    def compiled_routes(self):
-        """Cached :meth:`compile_tables` result (compiled at most once
-        per scheme instance; ``None`` means "not compilable")."""
-        cached = getattr(self, "_compiled_routes", False)
-        if cached is False:
-            cached = self._compiled_routes = self.compile_tables()
-        return cached
+    def compiled_routes(self, tables: str = "auto"):
+        """Cached :meth:`compile_tables` result for the requested table
+        family (compiled at most once per scheme instance per family;
+        ``None`` means "not compilable").  ``tables="auto"`` resolves
+        by graph size via
+        :func:`repro.runtime.engine.resolve_table_family`.
+        """
+        import inspect
+
+        from repro.runtime.engine import resolve_table_family
+
+        family = resolve_table_family(tables, self.graph.n)
+        cache = getattr(self, "_compiled_routes", None)
+        if cache is None:
+            cache = self._compiled_routes = {}
+        if family not in cache:
+            try:
+                accepts_family = (
+                    "tables" in inspect.signature(self.compile_tables).parameters
+                )
+            except (TypeError, ValueError):  # pragma: no cover - C callables
+                accepts_family = False
+            if accepts_family:
+                cache[family] = self.compile_tables(tables=family)
+            elif family == "dense":
+                # Pre-family compile_tables() overrides only know how to
+                # build dense tables.
+                cache[family] = self.compile_tables()
+            else:
+                cache[family] = None
+        return cache[family]
 
     def __getstate__(self):
         """Pickle the scheme *without* its compiled-routes cache.

@@ -85,12 +85,21 @@ class Simulator:
         hop_limit: per-leg hop budget; defaults to ``8 * n + 64``, far
             above any correct scheme's needs but small enough to catch
             loops quickly.
+        tables: compiled-table family for the vectorized engine —
+            ``"dense"``, ``"blocked"``, or ``"auto"`` (default; picks
+            by graph size).  All families route bit-identically.
     """
 
-    def __init__(self, scheme: RoutingScheme, hop_limit: Optional[int] = None):
+    def __init__(
+        self,
+        scheme: RoutingScheme,
+        hop_limit: Optional[int] = None,
+        tables: str = "auto",
+    ):
         self._scheme = scheme
         self._g = scheme.graph
         self._hop_limit = hop_limit or (8 * self._g.n + 64)
+        self._tables = tables
 
     def _run_leg(
         self, start: int, header: Header, expect_end: int
@@ -173,7 +182,7 @@ class Simulator:
             )
         if engine == "python":
             return "python"
-        compiled = self._scheme.compiled_routes()
+        compiled = self._scheme.compiled_routes(self._tables)
         if compiled is not None:
             return "vectorized"
         if engine == "vectorized":
@@ -183,6 +192,13 @@ class Simulator:
                 "use engine='auto' or 'python'"
             )
         return "python"
+
+    def resolve_tables(self) -> Optional[str]:
+        """The concrete compiled-table family batched vectorized calls
+        use (``"dense"`` or ``"blocked"``), or ``None`` when the scheme
+        does not compile at all."""
+        compiled = self._scheme.compiled_routes(self._tables)
+        return None if compiled is None else compiled.family
 
     def roundtrip_many(
         self,
@@ -227,7 +243,7 @@ class Simulator:
                 (s, vertex_of(t) if by_name else t) for (s, t) in pairs
             ]
             return run_roundtrips(
-                self._scheme.compiled_routes(),
+                self._scheme.compiled_routes(self._tables),
                 vertex_pairs,
                 self._hop_limit,
                 scheme_name=self._scheme.name,

@@ -517,7 +517,8 @@ _WORKER_CTX = None
 
 
 def _shard_worker_init(
-    scheme, hop_limit, engine, kind, r_matrix, store_root=None
+    scheme, hop_limit, engine, kind, r_matrix, store_root=None,
+    tables="auto",
 ) -> None:
     """Per-worker setup: build the simulator and rehydrate the compiled
     decision tables (the pickled scheme arrives without them — see
@@ -539,7 +540,7 @@ def _shard_worker_init(
     set_default_store(
         ArtifactStore(store_root) if store_root is not None else None
     )
-    sim = Simulator(scheme, hop_limit=hop_limit)
+    sim = Simulator(scheme, hop_limit=hop_limit, tables=tables)
     sim.resolve_engine(engine)  # warms the compiled-routes cache
     _WORKER_CTX = (sim, engine, kind, r_matrix)
 
@@ -560,6 +561,7 @@ def run_workload(
     shard_size: Optional[int] = None,
     jobs: Optional[int] = None,
     executor: Optional[str] = None,
+    tables: str = "auto",
 ) -> TrafficSummary:
     """Route a whole workload — optionally sharded and in parallel —
     and aggregate the statistics.
@@ -600,6 +602,9 @@ def run_workload(
             worker startup — like table compilation — is never billed
             to ``elapsed_s``; amortize it by serving large workloads
             per call rather than many tiny ones.
+        tables: compiled-table family for the vectorized engine
+            (``"dense"`` / ``"blocked"`` / ``"auto"``); summaries are
+            identical across families.
 
     Raises:
         GraphError: if any pair has ``source == destination``
@@ -625,7 +630,7 @@ def run_workload(
         len(pairs), shards=shards, shard_size=shard_size,
         parallel=jobs is not None,
     )
-    sim = Simulator(scheme, hop_limit=hop_limit)
+    sim = Simulator(scheme, hop_limit=hop_limit, tables=tables)
     resolved = sim.resolve_engine(engine)  # compiles outside the timed region
     # Auto-select the executor from the *resolved* engine: "auto" on a
     # non-compilable scheme must get the process pool, not GIL-bound
@@ -658,7 +663,10 @@ def run_workload(
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_shard_worker_init,
-            initargs=(scheme, hop_limit, resolved, kind, r_matrix, store_root),
+            initargs=(
+                scheme, hop_limit, resolved, kind, r_matrix, store_root,
+                tables,
+            ),
         ) as pool:
             futures = [pool.submit(_shard_worker_run, c) for c in chunks]
             parts = [f.result() for f in futures]

@@ -110,7 +110,7 @@ class RTZBaselineScheme(RoutingScheme):
     # ------------------------------------------------------------------
     # compiled execution
     # ------------------------------------------------------------------
-    def compile_tables(self):
+    def compile_tables(self, tables: str = "dense"):
         """One substrate leg per direction; headers carry two labels
         and a leg tag — structurally constant throughout."""
         import numpy as np
@@ -141,7 +141,7 @@ class RTZBaselineScheme(RoutingScheme):
         b_out = header_bits(out, n)
         b_ret = header_bits(self.make_return_header(out), n)
         b_back = header_bits(back, n)
-        tables = compile_substrate_tables(self.rtz)
+        step_tables = compile_substrate_tables(self.rtz, tables)
 
         def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
             batch = sources.shape[0]
@@ -156,7 +156,7 @@ class RTZBaselineScheme(RoutingScheme):
                 ],
             )
 
-        return CompiledRoutes(self.graph, tables, planner)
+        return CompiledRoutes(self.graph, step_tables, planner, family=tables)
 
 
 @register_scheme(

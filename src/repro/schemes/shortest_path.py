@@ -81,9 +81,12 @@ class ShortestPathScheme(RoutingScheme):
     # ------------------------------------------------------------------
     # compiled execution
     # ------------------------------------------------------------------
-    def compile_tables(self):
-        """Dense next-hop tables: one leg per direction, headers of
-        constant shape (``mode``/``dest``/``src``)."""
+    def compile_tables(self, tables: str = "dense"):
+        """Next-hop tables: one leg per direction, headers of constant
+        shape (``mode``/``dest``/``src``).  ``tables="dense"`` builds
+        the monolithic first-hop matrix; ``tables="blocked"`` streams
+        per-source row blocks (:class:`BlockedNextHop`) so peak memory
+        never reaches n²."""
         import numpy as np
 
         from repro.runtime.engine import (
@@ -91,6 +94,7 @@ class ShortestPathScheme(RoutingScheme):
             DenseNextHop,
             JourneyPlan,
             Segment,
+            compile_blocked_next_hop,
             constant_bits,
         )
         from repro.runtime.scheme import NEW_PACKET, RETURN_PACKET
@@ -106,7 +110,10 @@ class ShortestPathScheme(RoutingScheme):
         b_out = header_bits(out, n)
         b_ret = header_bits(ret, n)
         b_back = header_bits(back, n)
-        tables = DenseNextHop(self._oracle.first_hop_matrix())
+        if tables == "blocked":
+            step_tables = compile_blocked_next_hop(self._oracle)
+        else:
+            step_tables = DenseNextHop(self._oracle.first_hop_matrix())
 
         def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
             batch = sources.shape[0]
@@ -121,7 +128,7 @@ class ShortestPathScheme(RoutingScheme):
                 ],
             )
 
-        return CompiledRoutes(self.graph, tables, planner)
+        return CompiledRoutes(self.graph, step_tables, planner, family=tables)
 
 
 @register_scheme(

@@ -213,10 +213,10 @@ class StretchSixScheme(RoutingScheme):
     # ------------------------------------------------------------------
     # compiled execution
     # ------------------------------------------------------------------
-    def _compiled_knowledge(self):
-        """Dense planner inputs: ``knows[u, v]`` (does ``u`` hold
-        ``R3(v)`` locally, cases 1/3 of Fig. 3) and the per-source
-        dictionary-node matrix (case 2)."""
+    def _compiled_knowledge(self, tables: str = "dense"):
+        """Planner inputs: does ``u`` hold ``R3(v)`` locally (cases 1/3
+        of Fig. 3) and the per-source dictionary-node matrix (case 2),
+        dense or sorted-key sparse per the table family."""
         from repro.runtime.engine import compile_knowledge
 
         return compile_knowledge(
@@ -226,14 +226,16 @@ class StretchSixScheme(RoutingScheme):
             self._block_ptr,
             self.blocks.num_blocks(),
             lambda v: self.blocks.block_of(self.name_of(v)),
+            tables=tables,
         )
 
-    def compile_tables(self):
+    def compile_tables(self, tables: str = "dense"):
         """Outbound = optional dictionary segment + destination
         segment; the header is structurally constant within each
         (``dict_node`` is an id until the lookup, ``None`` after)."""
         return compile_fig3_routes(
-            self, _OUTBOUND, _INBOUND, self._compiled_knowledge()
+            self, _OUTBOUND, _INBOUND, self._compiled_knowledge(tables),
+            tables=tables,
         )
 
     # ------------------------------------------------------------------
@@ -248,7 +250,10 @@ class StretchSixScheme(RoutingScheme):
         )
 
 
-def compile_fig3_routes(scheme, outbound_mode: str, inbound_mode: str, knowledge):
+def compile_fig3_routes(
+    scheme, outbound_mode: str, inbound_mode: str, knowledge,
+    tables: str = "dense",
+):
     """The shared Fig. 3 journey compiler (see
     :mod:`repro.runtime.engine`).
 
@@ -263,8 +268,10 @@ def compile_fig3_routes(scheme, outbound_mode: str, inbound_mode: str, knowledge
             ``make_return_header``.
         outbound_mode: the scheme's outbound header mode tag.
         inbound_mode: the scheme's inbound header mode tag.
-        knowledge: ``(knows, block_ptr, block_of_vertex)`` from
+        knowledge: a :class:`repro.runtime.engine.DenseKnowledge` (or
+            sparse subclass) from
             :func:`repro.runtime.engine.compile_knowledge`.
+        tables: compiled-table family for the substrate step tables.
     """
     import numpy as np
 
@@ -298,13 +305,12 @@ def compile_fig3_routes(scheme, outbound_mode: str, inbound_mode: str, knowledge
     b_dict = header_bits(to_dict, n)
     b_ret = header_bits(scheme.make_return_header(outbound), n)
     b_in = header_bits(inbound, n)
-    tables = compile_substrate_tables(scheme.rtz)
-    knows, block_ptr, block_of_vertex = knowledge
+    step_tables = compile_substrate_tables(scheme.rtz, tables)
 
     def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
         batch = sources.shape[0]
-        local = knows[sources, dests]
-        dict_node = block_ptr[sources, block_of_vertex[dests]]
+        local = knowledge.local(sources, dests)
+        dict_node = knowledge.dict_node(sources, dests)
         return JourneyPlan(
             legs=[
                 [
@@ -322,7 +328,7 @@ def compile_fig3_routes(scheme, outbound_mode: str, inbound_mode: str, knowledge
             ],
         )
 
-    return CompiledRoutes(scheme.graph, tables, planner)
+    return CompiledRoutes(scheme.graph, step_tables, planner, family=tables)
 
 
 @register_scheme(

@@ -97,7 +97,7 @@ class StretchSixViaSourceScheme(StretchSixScheme):
     # ------------------------------------------------------------------
     # compiled execution
     # ------------------------------------------------------------------
-    def compile_tables(self):
+    def compile_tables(self, tables: str = "dense"):
         """Outbound = optional dictionary roundtrip (``s -> w -> s``)
         plus the real trip; the fetched label rides in the header from
         the dictionary onwards, so segment bit sizes differ between
@@ -145,13 +145,13 @@ class StretchSixViaSourceScheme(StretchSixScheme):
         b_in = header_bits(inbound, n)
         b_ret_direct = header_bits(self.make_return_header(direct), n)
         b_ret_fetched = header_bits(self.make_return_header(fetched_out), n)
-        tables = compile_substrate_tables(self.rtz)
-        knows, block_ptr, block_of_vertex = self._compiled_knowledge()
+        step_tables = compile_substrate_tables(self.rtz, tables)
+        knowledge = self._compiled_knowledge(tables)
 
         def planner(sources: np.ndarray, dests: np.ndarray) -> JourneyPlan:
             batch = sources.shape[0]
-            local = knows[sources, dests]
-            dict_node = block_ptr[sources, block_of_vertex[dests]]
+            local = knowledge.local(sources, dests)
+            dict_node = knowledge.dict_node(sources, dests)
             return JourneyPlan(
                 legs=[
                     [
@@ -176,7 +176,7 @@ class StretchSixViaSourceScheme(StretchSixScheme):
                 ],
             )
 
-        return CompiledRoutes(self.graph, tables, planner)
+        return CompiledRoutes(self.graph, step_tables, planner, family=tables)
 
     def _variant_start(self, at: int, header: Header) -> Header:
         dest_name = header["dest"]

@@ -216,7 +216,7 @@ class WildNameStretchSix(RoutingScheme):
     # ------------------------------------------------------------------
     # compiled execution
     # ------------------------------------------------------------------
-    def compile_tables(self):
+    def compile_tables(self, tables: str = "dense"):
         """Identical journey shape to the permutation-name scheme —
         only the planner's knowledge matrices are keyed through the
         wild-name hash reduction."""
@@ -230,8 +230,11 @@ class WildNameStretchSix(RoutingScheme):
             self._block_ptr,
             self.blocks.num_blocks(),
             lambda v: self.blocks.block_of(self._hashed.slot_of_vertex(v)),
+            tables=tables,
         )
-        return compile_fig3_routes(self, _OUTBOUND, _INBOUND, knowledge)
+        return compile_fig3_routes(
+            self, _OUTBOUND, _INBOUND, knowledge, tables=tables
+        )
 
     # ------------------------------------------------------------------
     # accounting

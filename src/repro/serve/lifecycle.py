@@ -169,6 +169,8 @@ class Lifecycle:
         n: initial graph size.
         seed: initial master seed.
         engine: engine knob for every generation's network.
+        tables: compiled-table family knob (``"auto"`` / ``"dense"`` /
+            ``"blocked"``) for every generation's network.
         schemes: scheme names to pre-build at load time (the first is
             the daemon's default scheme); must be non-empty.
         broker_opts: per-generation broker configuration.
@@ -182,6 +184,7 @@ class Lifecycle:
         n: int,
         seed: int = 0,
         engine: str = "auto",
+        tables: str = "auto",
         schemes: Sequence[str] = ("stretch6",),
         broker_opts: Optional[Dict[str, Any]] = None,
         store: Any = "auto",
@@ -193,6 +196,7 @@ class Lifecycle:
         self.schemes = tuple(schemes)
         self.default_scheme = self.schemes[0]
         self._engine = engine
+        self._tables = tables
         self._store = store
         self._broker_opts = dict(broker_opts or {})
         self._gen_counter = 0
@@ -205,7 +209,12 @@ class Lifecycle:
         """Build a fully-warmed generation (synchronous: callers put it
         on a worker thread when traffic is live)."""
         network = Network.from_family(
-            family, n, seed=seed, engine=self._engine, store=self._store
+            family,
+            n,
+            seed=seed,
+            engine=self._engine,
+            store=self._store,
+            tables=self._tables,
         )
         self._gen_counter += 1
         gen = Generation(
