@@ -20,8 +20,7 @@ The layers:
   accounting;
 * :mod:`repro.api.stats` — the unified ``as_dict()``/``format()``
   statistics family (:class:`NetworkStats`, :class:`RouterStats`,
-  :class:`SessionStats`) behind the legacy ``cache_info()`` /
-  ``engine_info()`` shims.
+  :class:`SessionStats`, :class:`RepairStats`).
 """
 
 from repro.api.artifacts import (
@@ -47,6 +46,7 @@ from repro.api.router import RouteResult, Router, RouterAccounting
 from repro.api.stats import (
     ArtifactCacheStats,
     NetworkStats,
+    RepairStats,
     RouterStats,
     SessionStats,
     StoreStats,
@@ -74,6 +74,7 @@ __all__ = [
     "storable_artifact_specs",
     "ArtifactCacheStats",
     "NetworkStats",
+    "RepairStats",
     "RouterStats",
     "SessionStats",
     "StoreStats",

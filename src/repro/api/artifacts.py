@@ -75,8 +75,8 @@ class ArtifactSpec:
             whenever ``dump``'s array layout changes so stale entries
             miss cleanly instead of deserializing garbage.
         label: ``resolved_params -> cache label`` (defaults to the
-            kind); produces exactly the labels the legacy accessor
-            methods used, so ``cache_info()`` output is unchanged.
+            kind); produces exactly the labels the historical accessor
+            methods used, so stats output stays stable across releases.
         dump: serialize to ``(arrays, meta)`` for the store; ``None``
             makes the kind memory-only.
         load: rehydrate from a store entry; required iff ``dump`` is

@@ -26,13 +26,13 @@ from __future__ import annotations
 import random
 import threading
 import time
-import warnings
 from typing import Any, Dict, Optional, TYPE_CHECKING, Union
 
 from repro.api.artifacts import DEFAULT_UNIVERSE, get_artifact_spec
 from repro.api.registry import get_spec, scheme_names  # noqa: F401
-from repro.api.stats import ArtifactCacheStats, NetworkStats
+from repro.api.stats import ArtifactCacheStats, NetworkStats, RepairStats
 from repro.exceptions import GraphError
+from repro.graph.delta import GraphDelta
 from repro.graph.digraph import Digraph
 from repro.graph.generators import standard_families
 from repro.graph.roundtrip import RoundtripMetric
@@ -43,7 +43,6 @@ from repro.rtz.routing import RTZStretch3
 from repro.store import ArtifactStore, default_store
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guards
-    from repro.analysis.experiments import Instance
     from repro.api.router import Router
     from repro.covers.hierarchy import TreeHierarchy
     from repro.covers.sparse_cover import DoubleTreeCover
@@ -117,6 +116,11 @@ class Network:
         self._store_mode = store
         self._cache: Dict[str, Any] = {}
         self._stats: Dict[str, Dict[str, float]] = {}
+        # Generation lineage (see evolve()): 1 for a root network,
+        # predecessor + 1 for evolved successors, which also carry the
+        # repair accounting of their own creation.
+        self._generation = 1
+        self._repair: Optional[RepairStats] = None
         # Concurrency safety for the lookup ladder: the serve daemon's
         # broker runs coalesced batches for different schemes on worker
         # threads, and two of them must never race one label through
@@ -182,6 +186,12 @@ class Network:
     def seed(self) -> int:
         """The master seed."""
         return self._seed
+
+    @property
+    def generation(self) -> int:
+        """Position in the evolve lineage: 1 for a root network,
+        predecessor + 1 for each :meth:`evolve` successor."""
+        return self._generation
 
     @property
     def engine(self) -> str:
@@ -303,24 +313,109 @@ class Network:
             return value
 
     def stats(self) -> NetworkStats:
-        """Consolidated statistics: per-label artifact counters plus
-        the store tier's counters (the :mod:`repro.api.stats` protocol:
-        ``as_dict()`` / ``format()``)."""
+        """Consolidated statistics: per-label artifact counters, the
+        store tier's counters, the generation number, and — for evolved
+        generations — the repair accounting (the :mod:`repro.api.stats`
+        protocol: ``as_dict()`` / ``format()``)."""
         store = self.resolved_store()
         return NetworkStats(
             cache=ArtifactCacheStats.from_counters(self._stats),
             store=None if store is None else store.stats(),
+            generation=self._generation,
+            repair=self._repair,
         )
 
-    def cache_info(self) -> Dict[str, Dict[str, float]]:
-        """Per-artifact cache statistics: ``builds``, ``hits``,
-        ``store_hits``, and construction ``seconds`` keyed by artifact
-        label.
+    # ------------------------------------------------------------------
+    # topology evolution
+    # ------------------------------------------------------------------
+    def evolve(self, delta: Union[GraphDelta, Dict[str, Any]]) -> "Network":
+        """A generation-linked successor network with ``delta`` applied.
 
-        .. deprecated:: thin shim kept for back-compat; new code should
-           use :meth:`stats` (the unified dataclass family).
+        The successor serves the new frozen graph
+        (:meth:`Digraph.apply_delta` — ports preserved for every
+        surviving edge) with the same seed/engine/store/tables knobs,
+        ``generation`` incremented, and its artifacts brought up as
+        cheaply as the repair protocols allow:
+
+        * **Oracle** — when this network's oracle is in memory and the
+          delta is in the incremental protocol's regime
+          (:mod:`repro.graph.repair`), the successor's oracle is
+          repaired row-wise (bit-identical to a cold build, including a
+          patched dense first-hop matrix when one was memoized) and
+          injected into the successor's cache.  Otherwise the oracle is
+          left to the ordinary keyed build path — which still reuses
+          unchanged store artifacts by the *new* graph's content hash.
+        * **Namings** — the adversarial naming and any hashed namings
+          are pure functions of ``(n, seed)``; when the delta preserves
+          ``n`` they are carried over verbatim (the TINN promise:
+          names survive topology change).
+        * **Everything else** (metric, substrates, compiled tables) is
+          graph-dependent and rebuilds lazily, keyed by the new graph's
+          content hash, reusing store entries where the graph hash
+          matches (e.g. a delta that round-trips back to a seen graph).
+
+        The repair accounting lands in the successor's
+        :meth:`stats` (:class:`~repro.api.stats.RepairStats`).
+
+        Args:
+            delta: a :class:`~repro.graph.delta.GraphDelta` or its JSON
+                document form (``{"ops": [...]}``, the ``POST /reload``
+                wire shape).
+
+        Raises:
+            GraphError: for a malformed delta or one inconsistent with
+                the current graph.
         """
-        return {label: dict(s) for label, s in self._stats.items()}
+        from repro.graph.repair import repair_oracle
+
+        if isinstance(delta, dict):
+            delta = GraphDelta.from_doc(delta)
+        if not isinstance(delta, GraphDelta):
+            raise GraphError(
+                f"evolve expects a GraphDelta or its document form, "
+                f"got {type(delta).__name__}"
+            )
+        t0 = time.perf_counter()
+        new_graph = self._graph.apply_delta(delta)
+        child = Network(
+            new_graph,
+            seed=self._seed,
+            engine=self._engine,
+            store=self._store_mode,
+            tables=self._tables,
+        )
+        child._generation = self._generation + 1
+        carried = 0
+        if new_graph.n == self._graph.n:
+            for label, value in self._cache.items():
+                if label == "naming" or label.startswith("hashed["):
+                    child._cache[label] = value
+                    carried += 1
+        incremental = 0
+        rows_recomputed = 0
+        rows_reused = 0
+        entries_changed = 0
+        old_oracle = self._cache.get("oracle")
+        if old_oracle is not None:
+            repaired = repair_oracle(old_oracle, delta)
+            if repaired is not None:
+                new_oracle, result = repaired
+                child._cache["oracle"] = new_oracle
+                incremental = 1
+                rows_recomputed = result.report.rows_recomputed
+                rows_reused = result.report.rows_reused
+                entries_changed = result.report.entries_changed
+        child._repair = RepairStats(
+            ops=len(delta.ops),
+            incremental=incremental,
+            full_rebuilds=0 if incremental else 1,
+            rows_recomputed=rows_recomputed,
+            rows_reused=rows_reused,
+            entries_changed=entries_changed,
+            artifacts_carried=carried,
+            seconds=time.perf_counter() - t0,
+        )
+        return child
 
     # ------------------------------------------------------------------
     # shared artifacts (delegating accessors over the registry)
@@ -364,35 +459,6 @@ class Network:
         """The §1.1.2 wild-name reduction: adversarial wild names drawn
         from ``universe``, hashed after the fact."""
         return self.artifact("hashed_naming", universe=universe)
-
-    def instance(self) -> "Instance":
-        """The legacy :class:`~repro.analysis.experiments.Instance`
-        view (graph + oracle + naming + metric), served from the
-        artifact cache — the bridge for analysis code that predates the
-        facade.
-
-        .. deprecated:: construct
-           :class:`~repro.analysis.experiments.Instance` from the
-           artifact accessors (``Instance(net.graph, net.oracle(),
-           net.naming(), net.metric())``) or go through
-           :meth:`build_scheme` / :meth:`artifact`; this bridge will be
-           removed in a future release.
-        """
-        warnings.warn(
-            "Network.instance() is deprecated and will be removed; build "
-            "Instance(net.graph, net.oracle(), net.naming(), net.metric()) "
-            "directly or use build_scheme()/artifact()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.analysis.experiments import Instance
-
-        return self._artifact(
-            "instance",
-            lambda: Instance(
-                self._graph, self.oracle(), self.naming(), self.metric()
-            ),
-        )
 
     # ------------------------------------------------------------------
     # schemes

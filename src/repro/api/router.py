@@ -81,8 +81,7 @@ class RouterAccounting:
         total_hops: summed roundtrip hops across queries.
         max_header_bits: largest header seen in any served query.
         tables: the scheme's table footprint (entries/bits).
-        engines: per-engine serving stats in the
-            :meth:`repro.api.Network.cache_info` style —
+        engines: per-engine serving stats —
             ``{"vectorized": {"batches", "pairs", "seconds", "shards"},
             "python": {...}}`` (``shards`` counts the per-shard batches
             workload serving split into; single queries count one).
@@ -292,7 +291,7 @@ class Router:
         values) enable sharded parallel execution with the same
         bit-identical-summary guarantee.  The session counters absorb
         the batch, with the shard count recorded per engine (see
-        :meth:`engine_info`).
+        :meth:`stats`).
         """
         resolved = self.resolve_engine(engine)
         jobs = jobs if jobs is not None else self._jobs
@@ -340,17 +339,6 @@ class Router:
 
         return RouterStats.from_counters(self._engine_stats)
 
-    def engine_info(self) -> Dict[str, Dict[str, float]]:
-        """Per-engine serving statistics (``batches`` / ``pairs`` /
-        ``seconds`` / ``shards`` per engine,
-        :meth:`Network.cache_info` style; ``shards`` counts the
-        per-shard batches sharded workload serving executed).
-
-        .. deprecated:: thin shim kept for back-compat; new code should
-           use :meth:`stats`.
-        """
-        return {name: dict(s) for name, s in self._engine_stats.items()}
-
     def accounting(self) -> RouterAccounting:
         """Session accounting: queries, hop/cost totals, headers,
         per-engine serving stats, and the scheme's table footprint."""
@@ -361,5 +349,5 @@ class Router:
             total_hops=self._total_hops,
             max_header_bits=self._max_header_bits,
             tables=self.table_report(),
-            engines=self.engine_info(),
+            engines={name: dict(s) for name, s in self._engine_stats.items()},
         )

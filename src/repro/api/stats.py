@@ -1,9 +1,8 @@
 """Unified run statistics: one dataclass family, one protocol.
 
-``Network.cache_info()``, ``Router.engine_info()``, and the artifact
-store's counters grew up independently, each with its own ad-hoc dict
-shape and its own CLI printing code.  This module unifies them behind a
-small protocol every stats object follows:
+The network/router/store counters grew up independently, each with its
+own ad-hoc dict shape and its own CLI printing code.  This module
+unifies them behind a small protocol every stats object follows:
 
 * ``as_dict()`` — a plain JSON-able dict (stable keys, for tooling);
 * ``format()`` — the human-readable block the CLI prints.
@@ -14,13 +13,14 @@ counters from :class:`~repro.api.network.Network`),
 :class:`~repro.api.router.Router`),
 :class:`~repro.store.StoreStats` (the on-disk store's counters — defined
 in :mod:`repro.store` since the store cannot import this package, and
-re-exported here), and :class:`SessionStats`, the consolidated view the
-``traffic`` CLI prints as a single block.
+re-exported here), :class:`RepairStats` (per-generation incremental
+repair accounting from :meth:`~repro.api.network.Network.evolve`), and
+:class:`SessionStats`, the consolidated view the ``traffic`` CLI
+prints as a single block.
 
-The legacy accessors ``cache_info()`` / ``engine_info()`` survive as
-thin shims over this family (their historical dict shapes are asserted
-by the seed tests); new code should call ``Network.stats()`` /
-``Router.stats()``.
+This family *is* the stats surface: the legacy ``cache_info()`` /
+``engine_info()`` dict shims and the ``Network.instance()`` bridge
+have been removed; call ``Network.stats()`` / ``Router.stats()``.
 """
 
 from __future__ import annotations
@@ -181,15 +181,76 @@ class RouterStats:
 
 
 @dataclass(frozen=True)
+class RepairStats:
+    """Per-generation repair accounting for an evolved network.
+
+    Recorded by :meth:`~repro.api.network.Network.evolve` on the
+    *successor* network: what bringing this generation's artifacts up
+    cost, relative to rebuilding them from scratch.
+
+    Attributes:
+        ops: delta ops folded into this generation.
+        incremental: 1 when the oracle was repaired row-wise by the
+            incremental protocol (:mod:`repro.graph.repair`).
+        full_rebuilds: 1 when the repair protocol did not apply and the
+            oracle falls back to the keyed (re)build path.
+        rows_recomputed: APSP source rows recomputed, summed over ops.
+        rows_reused: APSP source rows certified unchanged and carried
+            over, summed over ops.
+        entries_changed: distance entries whose value changed.
+        artifacts_carried: memory artifacts copied verbatim from the
+            predecessor (naming and hashed namings when ``n`` is
+            unchanged — the TINN names-survive promise).
+        seconds: wall-clock spent inside ``evolve``.
+    """
+
+    ops: int = 0
+    incremental: int = 0
+    full_rebuilds: int = 0
+    rows_recomputed: int = 0
+    rows_reused: int = 0
+    entries_changed: int = 0
+    artifacts_carried: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": self.ops,
+            "incremental": self.incremental,
+            "full_rebuilds": self.full_rebuilds,
+            "rows_recomputed": self.rows_recomputed,
+            "rows_reused": self.rows_reused,
+            "entries_changed": self.entries_changed,
+            "artifacts_carried": self.artifacts_carried,
+            "seconds": self.seconds,
+        }
+
+    def format(self) -> str:
+        mode = "incremental" if self.incremental else "full rebuild"
+        return (
+            f"repair: {mode} ops={self.ops} "
+            f"rows={self.rows_recomputed}/{self.rows_recomputed + self.rows_reused} "
+            f"entries_changed={self.entries_changed} "
+            f"carried={self.artifacts_carried} "
+            f"({1e3 * self.seconds:.1f} ms)"
+        )
+
+
+@dataclass(frozen=True)
 class NetworkStats:
-    """One network's consolidated view: artifact cache + store tier."""
+    """One network's consolidated view: artifact cache + store tier +
+    (for evolved generations) the repair accounting."""
 
     cache: ArtifactCacheStats = field(default_factory=ArtifactCacheStats)
     store: Optional[StoreStats] = None
+    generation: int = 1
+    repair: Optional[RepairStats] = None
 
     def as_dict(self) -> Dict[str, Any]:
         doc: Dict[str, Any] = {"artifacts": self.cache.as_dict()}
         doc["store"] = None if self.store is None else self.store.as_dict()
+        doc["generation"] = self.generation
+        doc["repair"] = None if self.repair is None else self.repair.as_dict()
         return doc
 
     def format(self) -> str:
@@ -198,6 +259,10 @@ class NetworkStats:
             lines.append(self.store.format())
         else:
             lines.append("store: off")
+        if self.generation != 1 or self.repair is not None:
+            lines.append(f"generation: {self.generation}")
+        if self.repair is not None:
+            lines.append(self.repair.format())
         return "\n".join(lines)
 
 

@@ -27,7 +27,11 @@ Each case names one kernel the repo's perf story depends on:
   the dense versus blocked/landmark table builds and of streaming
   blocked first-hop iteration (every case records ``peak_bytes``, but
   these are the ones whose *memory* band, not timing band, is the
-  point — a blocked path silently densifying trips the comparator).
+  point — a blocked path silently densifying trips the comparator);
+* **churn** — topology mutation: one delta folded through
+  :meth:`~repro.api.Network.evolve`'s incremental oracle repair versus
+  the cold full-rebuild fallback, plus a mixed churn timeline end to
+  end (the speedup ratio is the whole point of the repair protocol).
 
 Sizes mirror the pytest-benchmark modules under ``benchmarks/`` (which
 time these same registered thunks), and every count is routed through
@@ -551,3 +555,80 @@ def _memory_traffic_blocked(ctx: BenchContext):
                  tables="blocked")
     return lambda: run_workload(scheme, wl, oracle=oracle,
                                 engine="vectorized", tables="blocked")
+
+
+# ----------------------------------------------------------------------
+# churn axis: topology mutation — incremental repair vs full rebuild
+# ----------------------------------------------------------------------
+
+def _register_churn_evolve_case(label: str, mode: str, n: int = 192):
+    point = ("row-wise incremental oracle repair"
+             if mode == "incremental"
+             else "the cold full-rebuild fallback it is judged against")
+
+    @bench_case(
+        f"churn/evolve/{label}",
+        axis="churn",
+        summary=f"one-edge reweight folded via {point} (random, n={n})",
+        tags={"mode": mode, "family": "random", "ops": "reweight"},
+    )
+    def _setup(ctx: BenchContext):
+        from repro.api import Network
+        from repro.bench.runner import build_family_graph
+        from repro.graph.delta import GraphDelta
+
+        size = ctx.n(n)
+        graph = build_family_graph("random", size, ctx.seed)
+        net = Network(graph, seed=ctx.seed, store=None)
+        net.oracle().first_hop_matrix()  # warm: repair patches in place
+        edge = next(iter(graph.edges()))
+        delta = GraphDelta.reweight(edge.tail, edge.head, edge.weight * 1.5)
+        if mode == "incremental":
+            def run():
+                child = net.evolve(delta)
+                assert child.stats().repair.incremental == 1
+                return child
+        else:
+            new_graph = graph.apply_delta(delta)
+
+            def run():
+                child = Network(new_graph, seed=ctx.seed, store=None)
+                child.oracle().first_hop_matrix()
+                return child
+
+        return run
+
+    return _setup
+
+
+_register_churn_evolve_case("incremental_repair", "incremental")
+_register_churn_evolve_case("full_rebuild", "rebuild")
+
+
+@bench_case(
+    "churn/timeline/mixed",
+    axis="churn",
+    summary="a 3-epoch mixed churn timeline end to end — evolve + "
+            "scheme rebuild + routed traffic per epoch (random, n=64)",
+    # Timeline runs compound evolve, scheme builds, and workload
+    # serving; the band guards the composite, so keep it loose.
+    tolerance=3.0,
+    tags={"scheme": "stretch6", "family": "random", "epochs": "3"},
+)
+def _churn_timeline_mixed(ctx: BenchContext):
+    from repro.api import Network
+    from repro.bench.runner import build_family_graph
+    from repro.runtime.churn import Timeline, EpochSpec, run_timeline
+
+    size = ctx.n(64)
+    pairs = ctx.count(400, 60)
+    graph = build_family_graph("random", size, ctx.seed)
+    net = Network(graph, seed=ctx.seed, store=None)
+    net.oracle()
+    net.build_scheme("stretch6")
+    timeline = Timeline(seed=17, workload="mixed", epochs=(
+        EpochSpec(pairs=pairs),
+        EpochSpec(pairs=pairs, events=({"op": "reweight"},)),
+        EpochSpec(pairs=pairs, events=({"op": "link_up"}, {"op": "link_down"})),
+    ))
+    return lambda: run_timeline(net, "stretch6", timeline)

@@ -87,7 +87,7 @@ def _network(args: argparse.Namespace) -> Network:
 
 def _instance(net: Network) -> Instance:
     """The analysis-layer :class:`Instance` view, assembled from the
-    artifact accessors (``Network.instance()`` is deprecated)."""
+    artifact accessors."""
     return Instance(net.graph, net.oracle(), net.naming(), net.metric())
 
 
@@ -179,6 +179,8 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     labels = [s.strip() for s in args.scheme.split(",") if s.strip()]
     if not labels:
         raise SystemExit("no scheme given")
+    if getattr(args, "events", None):
+        return _traffic_events(args, net, labels)
     workload = generate_workload(
         args.workload,
         net.n,
@@ -231,6 +233,53 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     if len(labels) > 1 or args.verbose_cache:
         print()
         print(SessionStats.collect(net, routers).format())
+    return 1 if failures else 0
+
+
+def _traffic_events(
+    args: argparse.Namespace, net: Network, labels: list
+) -> int:
+    """``repro traffic --events FILE``: run a churn timeline — routing
+    batches interleaved with deterministic seeded topology mutations —
+    per scheme, printing the per-epoch stretch trajectory."""
+    from repro.runtime.churn import load_timeline, run_timeline
+
+    try:
+        timeline = load_timeline(args.events)
+    except GraphError as exc:
+        raise SystemExit(str(exc))
+    failures = 0
+    for i, label in enumerate(labels):
+        t0 = time.perf_counter()
+        scheme, bound = _build_scheme(net, label, args)
+        build_s = time.perf_counter() - t0
+        spec = get_spec(label)
+        params = {"k": args.k} if spec.accepts("k") else {}
+        try:
+            summary, final = run_timeline(
+                net, spec.name, timeline, params=params,
+                engine=args.engine, shard_size=args.shard_size,
+                jobs=args.jobs, tables=args.tables,
+            )
+        except (GraphError, RoutingError) as exc:
+            raise SystemExit(str(exc))
+        if i:
+            print()
+        print(f"scheme     : {scheme.name} on {args.family} (n={net.n})")
+        print(f"build time : {build_s * 1000:.1f} ms"
+              + ("  (shared artifacts reused)" if i else ""))
+        print(f"timeline   : {len(timeline.epochs)} epochs, "
+              f"{timeline.total_events} events (seed {timeline.seed})")
+        print(f"generations: 1 -> {final.generation} (n={final.n})")
+        print(summary.format())
+        if summary.pairs == 0:
+            print("\nempty timeline; nothing to route")
+        elif summary.max_stretch <= bound + 1e-9:
+            print(f"within the claimed stretch bound {bound:.1f} "
+                  f"across every generation")
+        else:
+            print(f"EXCEEDED the claimed stretch bound {bound:.1f}")
+            failures += 1
     return 1 if failures else 0
 
 
@@ -503,12 +552,38 @@ def cmd_client(args: argparse.Namespace) -> int:
             print(summary.format())
             return 0
         if action == "reload":
-            doc = client.reload(family=args.family, n=args.n, seed=args.seed)
+            delta = None
+            if getattr(args, "delta", None):
+                import json as _json
+
+                text = args.delta
+                if not text.lstrip().startswith("{"):
+                    try:
+                        text = Path(text).read_text(encoding="utf-8")
+                    except OSError as exc:
+                        raise SystemExit(f"cannot read delta file: {exc}")
+                try:
+                    delta = _json.loads(text)
+                except ValueError as exc:
+                    raise SystemExit(f"delta is not valid JSON: {exc}")
+            try:
+                doc = client.reload(family=args.family, n=args.n,
+                                    seed=args.seed, delta=delta)
+            except GraphError as exc:
+                raise SystemExit(f"malformed delta: {exc}")
             graph = doc.get("graph", {})
             print(f"reloaded   : generation {doc.get('old_generation')} -> "
                   f"{doc.get('generation')}")
             print(f"graph      : {graph.get('family')} n={graph.get('n')} "
                   f"seed={graph.get('seed')}")
+            applied = doc.get("delta")
+            if applied:
+                repair = applied.get("repair") or {}
+                mode = ("incremental" if repair.get("incremental")
+                        else "full rebuild")
+                print(f"delta      : [{','.join(applied.get('ops', []))}] "
+                      f"({mode}, network generation "
+                      f"{applied.get('network_generation')})")
             return 0
         raise SystemExit(f"unknown client command {action!r}")
     except ProtocolError as exc:
@@ -721,6 +796,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print artifact-cache statistics even for one scheme",
     )
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="churn timeline JSON: route per-epoch batches interleaved "
+        "with deterministic seeded topology mutations (reweights, link "
+        "up/down, node arrival/departure) applied through "
+        "Network.evolve; ignores --workload/--pairs (the timeline "
+        "defines the traffic); the summary is bit-identical for any "
+        "--jobs value",
+    )
     p.set_defaults(func=cmd_traffic)
 
     p = sub.add_parser(
@@ -899,6 +985,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--family", default=None, help="new graph family")
     sp.add_argument("--n", type=int, default=None, help="new graph size")
     sp.add_argument("--seed", type=int, default=None, help="new graph seed")
+    sp.add_argument(
+        "--delta",
+        default=None,
+        metavar="FILE",
+        help="GraphDelta JSON ({\"ops\": [...]}; a file path or inline "
+        "JSON): evolve the current generation's topology instead of "
+        "building a fresh snapshot (mutually exclusive with "
+        "--family/--n/--seed)",
+    )
     client_opts(sp)
 
     p = sub.add_parser(

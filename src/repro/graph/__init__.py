@@ -9,10 +9,19 @@ total order used by every scheme in the paper.
 from repro.graph.apsp import (
     TIE_EPS,
     apsp_matrices,
+    apsp_rows,
     min_distances,
     vectorized_engine_supported,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import (
+    Arrival,
+    Departure,
+    GraphDelta,
+    LinkDown,
+    LinkUp,
+    Reweight,
+)
 from repro.graph.digraph import Digraph, Edge, from_edge_list
 from repro.graph.generators import (
     asymmetric_torus,
@@ -26,6 +35,12 @@ from repro.graph.generators import (
     random_strongly_connected,
     scale_free_directed,
     standard_families,
+)
+from repro.graph.repair import (
+    RepairedAPSP,
+    RepairReport,
+    repair_apsp,
+    repair_oracle,
 )
 from repro.graph.roundtrip import RoundtripMetric, verify_metric_axioms
 from repro.graph.scc import (
@@ -46,7 +61,18 @@ __all__ = [
     "Edge",
     "from_edge_list",
     "CSRGraph",
+    "GraphDelta",
+    "Reweight",
+    "LinkDown",
+    "LinkUp",
+    "Arrival",
+    "Departure",
+    "RepairReport",
+    "RepairedAPSP",
+    "repair_apsp",
+    "repair_oracle",
     "apsp_matrices",
+    "apsp_rows",
     "min_distances",
     "vectorized_engine_supported",
     "TIE_EPS",

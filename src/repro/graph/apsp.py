@@ -461,6 +461,107 @@ def apsp_blocks(
         classes.release_scratch_if_large()
 
 
+def _min_distances_rows(
+    csr: CSRGraph, classes: _DegreeClasses, src: np.ndarray
+) -> np.ndarray:
+    """Warm-start minimum distances for an arbitrary ordered source
+    set (the scattered-source sibling of :func:`_min_distances_block`).
+    """
+    n = csr.n
+    if _sp_dijkstra is not None:
+        if classes._sp_matrix is None:
+            classes._sp_matrix = _sp_csr_matrix(
+                (csr.out_weights, csr.out_heads, csr.out_indptr),
+                shape=(n, n),
+            )
+        return np.asarray(
+            _sp_dijkstra(classes._sp_matrix, indices=src), dtype=np.float64
+        )
+    d = np.full((src.shape[0], n), np.inf, dtype=np.float64)
+    d[np.arange(src.shape[0]), src] = 0.0
+    for _sweep in range(n + 1):
+        nd = _min_sweep(d, classes, src)
+        if np.array_equal(nd, d):
+            return d
+        d = nd
+    raise GraphError("batched min-distance sweeps did not converge")
+
+
+def apsp_rows(
+    csr: CSRGraph,
+    sources,
+    tie_eps: float = TIE_EPS,
+    chunk_elems: int = _CHUNK_ELEMS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical APSP rows for an *arbitrary* ordered source set.
+
+    ``apsp_rows(csr, sources)[i]`` is bit-identical to row
+    ``sources[i]`` of :func:`apsp_matrices` — each source's row is
+    computed independently (per-source row independence) by the same
+    warm start + canonical sweep, and the sweep's fixpoint is unique
+    (module docstring), so scattering the sources changes nothing.
+    This is the recomputation kernel of the incremental repair
+    protocol (:mod:`repro.graph.repair`), which touches only the rows
+    a :class:`~repro.graph.delta.GraphDelta` can have invalidated.
+
+    Args:
+        csr: the CSR adjacency snapshot.
+        sources: ordered source vertex ids (any int array-like; need
+            not be contiguous, sorted, or distinct).
+        tie_eps: tie tolerance (see module docstring).
+        chunk_elems: memory cap — sources are processed in blocks.
+
+    Returns:
+        ``(d, parent)`` of shape ``(len(sources), n)``, row ``i``
+        belonging to source ``sources[i]``.
+
+    Raises:
+        GraphError: when :func:`vectorized_engine_supported` is false.
+    """
+    n = csr.n
+    src_all = np.asarray(sources, dtype=np.int64).reshape(-1)
+    b = src_all.shape[0]
+    if np.any((src_all < 0) | (src_all >= n)):
+        raise GraphError(f"apsp_rows sources out of range [0, {n})")
+    d_out = np.empty((b, n), dtype=np.float64)
+    p_out = np.empty((b, n), dtype=np.int64)
+    if b == 0:
+        return d_out, p_out
+    if csr.m == 0:
+        d_out.fill(np.inf)
+        d_out[np.arange(b), src_all] = 0.0
+        p_out.fill(-1)
+        return d_out, p_out
+    if not vectorized_engine_supported(csr):
+        raise GraphError(
+            "vectorized APSP requires edge weights that dominate both "
+            f"the tie tolerance ({tie_eps}) and the float spacing at "
+            f"the graph's distance scale; got min weight "
+            f"{csr.min_weight()}; use the python engine"
+        )
+    classes = _degree_classes(csr)
+    padded_m = sum(t.size for t in classes.tails)
+    block = max(1, min(b, int(chunk_elems // max(padded_m, 1))))
+    try:
+        for lo in range(0, b, block):
+            hi = min(b, lo + block)
+            src = src_all[lo:hi]
+            d_blk = _min_distances_rows(csr, classes, src)
+            d_blk[np.arange(hi - lo), src] = 0.0
+            for _sweep in range(n + 2):
+                nd, npar = _canonical_sweep(d_blk, classes, n, src, tie_eps)
+                if np.array_equal(nd, d_blk):
+                    d_out[lo:hi] = d_blk
+                    p_out[lo:hi] = npar
+                    break
+                d_blk[...] = nd
+            else:  # pragma: no cover - backstop, unreachable for valid input
+                raise GraphError("batched APSP did not converge")
+    finally:
+        classes.release_scratch_if_large()
+    return d_out, p_out
+
+
 def apsp_matrices(
     csr: CSRGraph,
     tie_eps: float = TIE_EPS,

@@ -54,9 +54,28 @@ def first_hops_from_parents(parent_rows: np.ndarray, lo: int) -> np.ndarray:
         matrix, restricted to these rows (each row is self-contained,
         so the restriction is exact).
     """
+    b = np.asarray(parent_rows).shape[0]
+    return first_hops_for_sources(
+        parent_rows, np.arange(lo, lo + b, dtype=np.int32)
+    )
+
+
+def first_hops_for_sources(
+    parent_rows: np.ndarray, sources: np.ndarray
+) -> np.ndarray:
+    """First-hop rows for an *arbitrary* ordered source set.
+
+    The scattered-source sibling of :func:`first_hops_from_parents`
+    (which it implements): row ``i`` of the result is the first-hop
+    row of source ``sources[i]``, folded from ``parent_rows[i]`` by
+    the identical pointer-doubling recursion — each row is a pure
+    function of its own tree, so the scattered restriction is exact.
+    The incremental repair protocol (:mod:`repro.graph.repair`) uses
+    this to refresh only the first-hop rows a delta invalidated.
+    """
     parent = np.asarray(parent_rows, dtype=np.int32)
     b, n = parent.shape
-    src = np.arange(lo, lo + b, dtype=np.int32)
+    src = np.asarray(sources, dtype=np.int32).reshape(-1)
     cols = np.broadcast_to(np.arange(n, dtype=np.int32), (b, n))
     # a vertex whose parent is the source is its own first hop; others
     # inherit their parent's answer by pointer doubling

@@ -84,6 +84,7 @@ class CSRGraph:
         "in_tails",
         "in_weights",
         "in_targets",
+        "_source",
         "__weakref__",
     )
 
@@ -108,6 +109,7 @@ class CSRGraph:
         self.in_targets = np.repeat(
             np.arange(n, dtype=np.int64), np.diff(in_indptr)
         )
+        self._source: "weakref.ref[Digraph] | None" = None
         for name in (
             "out_indptr",
             "out_heads",
@@ -132,8 +134,11 @@ class CSRGraph:
             cached = _SNAPSHOT_CACHE.get(g)
             if cached is None:
                 cached = _SNAPSHOT_CACHE[g] = cls._build(g)
+                cached._source = weakref.ref(g)
             return cached
-        return cls._build(g)
+        snap = cls._build(g)
+        snap._source = weakref.ref(g)
+        return snap
 
     @classmethod
     def _build(cls, g: Digraph) -> "CSRGraph":
@@ -165,6 +170,39 @@ class CSRGraph:
             n, out_indptr, out_heads, out_weights,
             in_indptr, in_tails, in_weights,
         )
+
+    # ------------------------------------------------------------------
+    # topology mutation
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Digraph:
+        """The :class:`Digraph` this snapshot was taken from.
+
+        Raises:
+            GraphError: when the snapshot was built directly from raw
+                arrays, or its source graph has been garbage-collected.
+        """
+        from repro.exceptions import GraphError
+
+        ref = self._source
+        g = ref() if ref is not None else None
+        if g is None:
+            raise GraphError(
+                "this CSRGraph has no live source Digraph; build the "
+                "snapshot via CSRGraph.from_digraph and keep the graph "
+                "alive to use apply_delta"
+            )
+        return g
+
+    def apply_delta(self, delta) -> "CSRGraph":
+        """Snapshot of the source graph with ``delta`` applied.
+
+        Delegates to :meth:`Digraph.apply_delta` (ports live on the
+        Digraph, and the delta's port-preservation rules are defined
+        there) and returns the CSR snapshot of the resulting frozen
+        graph.  Retrieve that graph via :attr:`source` on the result.
+        """
+        return CSRGraph.from_digraph(self.source.apply_delta(delta))
 
     # ------------------------------------------------------------------
     # convenience queries (primarily for tests and debugging)

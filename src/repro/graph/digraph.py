@@ -29,6 +29,14 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import GraphError
+from repro.graph.delta import (
+    Arrival,
+    Departure,
+    GraphDelta,
+    LinkDown,
+    LinkUp,
+    Reweight,
+)
 
 
 @dataclass(frozen=True)
@@ -241,6 +249,170 @@ class Digraph:
         """Return all port numbers at vertex ``u``."""
         self._require_frozen()
         return sorted(self._port_to_head[u])
+
+    # ------------------------------------------------------------------
+    # port-preserving construction & mutation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_port_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int, float, int]],
+    ) -> "Digraph":
+        """Build a *frozen* graph with explicit fixed-port assignments.
+
+        This is the public port-preserving constructor: where
+        :func:`from_edge_list` + :meth:`freeze` draw fresh (possibly
+        adversarial) port numbers, this takes ``(tail, head, weight,
+        port)`` quadruples — e.g. from :meth:`edges` of an existing
+        frozen graph — and reproduces the given port assignment
+        exactly.  It is what :meth:`apply_delta` and topology-copying
+        transforms use so that forwarding state keyed by port numbers
+        stays meaningful across the copy.
+
+        Args:
+            n: vertex count.
+            edges: ``(tail, head, weight, port)`` quadruples.  The
+                usual edge rules apply (no self-loops or duplicates,
+                positive weights) plus port rules: non-negative and
+                unique per tail.
+
+        Returns:
+            A frozen :class:`Digraph` with exactly the given ports.
+        """
+        g = cls(n)
+        ports: List[Dict[int, int]] = [dict() for _ in range(n)]
+        port_to_head: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for (tail, head, weight, port) in edges:
+            g.add_edge(tail, head, weight)
+            port = int(port)
+            if port < 0:
+                raise GraphError(
+                    f"port numbers must be non-negative, got {port} at "
+                    f"vertex {tail}"
+                )
+            if port in port_to_head[tail]:
+                raise GraphError(f"duplicate port {port} at vertex {tail}")
+            ports[tail][head] = port
+            port_to_head[tail][port] = head
+        g._ports = ports
+        g._port_to_head = port_to_head
+        g._edges = [
+            Edge(u, head, w, ports[u][head])
+            for u in range(n)
+            for (head, w) in g._succ[u]
+        ]
+        g._frozen = True
+        return g
+
+    def apply_delta(self, delta: GraphDelta) -> "Digraph":
+        """Fold a :class:`~repro.graph.delta.GraphDelta` into a new
+        frozen graph; ``self`` is untouched.
+
+        Ports are preserved for every surviving edge.  New edges
+        (:class:`~repro.graph.delta.LinkUp`, arrival in-edges) receive
+        the smallest port number their tail has free; an arriving
+        node's own out-edges are ported ``0..k-1`` in the given order.
+        A departure shifts vertex ids above the departed node down by
+        one (ports untouched).
+
+        Raises:
+            GraphError: when an op is inconsistent with the graph it
+                meets (missing/duplicate edge, vertex out of range,
+                non-positive weight, departure emptying the graph).
+        """
+        self._require_frozen()
+        if not isinstance(delta, GraphDelta):
+            raise GraphError(
+                f"expected a GraphDelta, got {type(delta).__name__}"
+            )
+        n = self._n
+        # Working state: per-tail insertion-ordered {head: (weight, port)}.
+        adj: List[Dict[int, Tuple[float, int]]] = [
+            {head: (w, self._ports[u][head]) for (head, w) in self._succ[u]}
+            for u in range(n)
+        ]
+
+        def check(u: int) -> None:
+            if not (0 <= u < n):
+                raise GraphError(
+                    f"delta references vertex {u} out of range [0, {n})"
+                )
+
+        def insert(tail: int, head: int, weight: float) -> None:
+            check(tail)
+            check(head)
+            if tail == head:
+                raise GraphError(f"self-loops are not allowed (vertex {tail})")
+            if head in adj[tail]:
+                raise GraphError(f"link_up of existing edge ({tail}, {head})")
+            if weight <= 0:
+                raise GraphError(
+                    f"edge weights must be positive, got "
+                    f"w({tail},{head})={weight}"
+                )
+            used = {p for (_w, p) in adj[tail].values()}
+            port = 0
+            while port in used:
+                port += 1
+            adj[tail][head] = (float(weight), port)
+
+        for op in delta.ops:
+            if isinstance(op, Reweight):
+                check(op.tail)
+                check(op.head)
+                if op.head not in adj[op.tail]:
+                    raise GraphError(
+                        f"reweight of missing edge ({op.tail}, {op.head})"
+                    )
+                if op.weight <= 0:
+                    raise GraphError(
+                        f"edge weights must be positive, got "
+                        f"w({op.tail},{op.head})={op.weight}"
+                    )
+                _w, port = adj[op.tail][op.head]
+                adj[op.tail][op.head] = (float(op.weight), port)
+            elif isinstance(op, LinkDown):
+                check(op.tail)
+                check(op.head)
+                if op.head not in adj[op.tail]:
+                    raise GraphError(
+                        f"link_down of missing edge ({op.tail}, {op.head})"
+                    )
+                del adj[op.tail][op.head]
+            elif isinstance(op, LinkUp):
+                insert(op.tail, op.head, op.weight)
+            elif isinstance(op, Departure):
+                if n <= 1:
+                    raise GraphError("departure would leave an empty graph")
+                x = op.node
+                check(x)
+                adj = [
+                    {
+                        (h - 1 if h > x else h): wp
+                        for h, wp in adj[u].items()
+                        if h != x
+                    }
+                    for u in range(n)
+                    if u != x
+                ]
+                n -= 1
+            else:  # Arrival
+                new_id = n
+                adj.append({})
+                n += 1
+                for (head, w) in op.out_edges:
+                    insert(new_id, head, w)
+                for (tail, w) in op.in_edges:
+                    insert(tail, new_id, w)
+        return Digraph.from_port_edges(
+            n,
+            (
+                (u, head, w, port)
+                for u in range(n)
+                for head, (w, port) in adj[u].items()
+            ),
+        )
 
     # ------------------------------------------------------------------
     # transforms

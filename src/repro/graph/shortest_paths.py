@@ -341,6 +341,39 @@ class DistanceOracle:
         ``source -> v``)."""
         return list(self._parent[source])
 
+    def parent_matrix(self) -> np.ndarray:
+        """The full ``(n, n)`` int64 canonical parent matrix (row ``s``
+        is the out-tree rooted at ``s``; freshly allocated).  This is
+        the array form the incremental repair protocol
+        (:mod:`repro.graph.repair`) edits row-wise."""
+        return np.asarray(self._parent, dtype=np.int64)
+
+    def cached_first_hops(self) -> "np.ndarray | None":
+        """The memoized dense first-hop matrix, or ``None`` when
+        :meth:`first_hop_matrix` has not run yet (repair uses this to
+        decide whether there is a table worth patching)."""
+        return getattr(self, "_first_hop", None)
+
+    def seed_first_hops(self, first: np.ndarray) -> None:
+        """Install a precomputed dense first-hop matrix.
+
+        The incremental repair path builds the successor oracle's
+        matrix by patching only the invalidated rows of the
+        predecessor's; the result must equal what
+        :meth:`first_hop_matrix` would compute from scratch (the churn
+        differential suite asserts bit-identity).
+        """
+        first = np.asarray(first, dtype=np.int32)
+        if first.shape != (self.n, self.n):
+            raise GraphError(
+                f"first-hop matrix has shape {first.shape}, "
+                f"expected ({self.n}, {self.n})"
+            )
+        if first.flags.writeable:
+            first = first.copy()
+            first.flags.writeable = False
+        self._first_hop = first
+
     def first_hop_matrix(self) -> np.ndarray:
         """``(n, n)`` int32 matrix of canonical first hops:
         ``F[u, v] == next_hop(u, v)`` for every ``u != v`` (``-1`` on

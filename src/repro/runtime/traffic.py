@@ -217,6 +217,86 @@ def generate_workload(
     )
 
 
+@dataclass(frozen=True)
+class EpochStretch:
+    """Per-epoch stretch row of a churn-timeline run.
+
+    A timeline run (:func:`repro.runtime.churn.run_timeline`, or
+    ``run_workload(events=...)``) routes one workload batch per epoch,
+    mutating the topology between batches.  Each epoch contributes one
+    of these rows to :attr:`TrafficSummary.epochs`, so the aggregate
+    summary keeps the stretch trajectory across generations instead of
+    flattening it.
+
+    Attributes:
+        index: epoch position in the timeline (0-based).
+        generation: the :class:`~repro.api.network.Network` generation
+            that served this epoch's traffic.
+        pairs: journeys routed in this epoch.
+        events: op names of the delta applied *before* this epoch's
+            traffic (empty for a quiet epoch).
+        repair: how the oracle crossed into this generation —
+            ``"none"`` (no mutation), ``"incremental"`` (row-wise
+            repair), or ``"rebuild"`` (keyed full rebuild).
+        mean_stretch: average roundtrip stretch within the epoch.
+        max_stretch: worst roundtrip stretch within the epoch.
+        worst_pair: the pair achieving ``max_stretch``.
+    """
+
+    index: int
+    generation: int
+    pairs: int
+    events: Tuple[str, ...] = ()
+    repair: str = "none"
+    mean_stretch: float = float("nan")
+    max_stretch: float = float("nan")
+    worst_pair: Tuple[int, int] = (-1, -1)
+
+    def as_dict(self) -> dict:
+        """A JSON-able dict (the serve protocol's wire form)."""
+        return {
+            "index": self.index,
+            "generation": self.generation,
+            "pairs": self.pairs,
+            "events": list(self.events),
+            "repair": self.repair,
+            "mean_stretch": self.mean_stretch,
+            "max_stretch": self.max_stretch,
+            "worst_pair": list(self.worst_pair),
+        }
+
+    @classmethod
+    def from_dict(cls, doc) -> "EpochStretch":
+        """Rebuild from :meth:`as_dict` output (raises ``KeyError`` /
+        ``TypeError`` / ``ValueError`` on malformed docs; the serve
+        codec wraps those)."""
+        worst = doc["worst_pair"]
+        return cls(
+            index=int(doc["index"]),
+            generation=int(doc["generation"]),
+            pairs=int(doc["pairs"]),
+            events=tuple(str(e) for e in doc["events"]),
+            repair=str(doc["repair"]),
+            mean_stretch=float(doc["mean_stretch"]),
+            max_stretch=float(doc["max_stretch"]),
+            worst_pair=(int(worst[0]), int(worst[1])),
+        )
+
+    def format(self) -> str:
+        """One human-readable line (a row under the summary block)."""
+        label = f"epoch {self.index}"
+        parts = [f"gen {self.generation} pairs={self.pairs}"]
+        if self.events:
+            parts.append(f"events=[{','.join(self.events)}]")
+            parts.append(f"repair={self.repair}")
+        if self.pairs and not np.isnan(self.max_stretch):
+            parts.append(
+                f"stretch mean {self.mean_stretch:.3f}, "
+                f"max {self.max_stretch:.3f} at {self.worst_pair}"
+            )
+        return f"{label:<11}: " + " ".join(parts)
+
+
 @dataclass
 class TrafficSummary:
     """Aggregate statistics of one workload run.
@@ -237,6 +317,8 @@ class TrafficSummary:
         worst_pair: the pair achieving ``max_stretch`` (``(-1, -1)``
             without an oracle or an empty workload).
         elapsed_s: wall-clock seconds spent routing the batch.
+        epochs: per-epoch stretch rows for churn-timeline runs (empty
+            for a plain static-topology workload).
     """
 
     kind: str
@@ -251,6 +333,7 @@ class TrafficSummary:
     max_stretch: float
     worst_pair: Tuple[int, int]
     elapsed_s: float
+    epochs: Tuple[EpochStretch, ...] = ()
 
     @property
     def pairs_per_s(self) -> float:
@@ -292,10 +375,11 @@ class TrafficSummary:
         total_cost = sum(s.total_cost for s in summaries)
         total_hops = sum(s.total_hops for s in summaries)
         elapsed = sum(s.elapsed_s for s in summaries)
+        epochs = tuple(e for s in summaries for e in s.epochs)
         if pairs == 0:
             return cls(
                 kind, 0, 0.0, 0, 0.0, 0.0, 0, 0, float("nan"),
-                float("nan"), (-1, -1), elapsed,
+                float("nan"), (-1, -1), elapsed, epochs,
             )
         max_hops = max(s.max_hops for s in summaries)
         max_bits = max(s.max_header_bits for s in summaries)
@@ -328,6 +412,7 @@ class TrafficSummary:
             max_stretch=max_stretch,
             worst_pair=worst_pair,
             elapsed_s=elapsed,
+            epochs=epochs,
         )
 
     def format(self) -> str:
@@ -355,6 +440,8 @@ class TrafficSummary:
                 f"throughput : {self.pairs_per_s:,.0f} pairs/s "
                 f"({self.elapsed_s * 1000:.1f} ms)"
             )
+        for epoch in self.epochs:
+            lines.append(epoch.format())
         return "\n".join(lines)
 
 
@@ -552,8 +639,8 @@ def _shard_worker_run(pairs: Sequence[Tuple[int, int]]) -> TrafficSummary:
 
 
 def run_workload(
-    scheme: RoutingScheme,
-    workload: Workload | Sequence[Tuple[int, int]],
+    scheme,
+    workload: Optional[Workload | Sequence[Tuple[int, int]]] = None,
     oracle: Optional[DistanceOracle] = None,
     hop_limit: Optional[int] = None,
     engine: str = "auto",
@@ -562,6 +649,8 @@ def run_workload(
     jobs: Optional[int] = None,
     executor: Optional[str] = None,
     tables: str = "auto",
+    events=None,
+    network=None,
 ) -> TrafficSummary:
     """Route a whole workload — optionally sharded and in parallel —
     and aggregate the statistics.
@@ -605,6 +694,18 @@ def run_workload(
         tables: compiled-table family for the vectorized engine
             (``"dense"`` / ``"blocked"`` / ``"auto"``); summaries are
             identical across families.
+        events: a churn :class:`~repro.runtime.churn.Timeline` (or its
+            JSON doc / file path).  Switches to timeline mode: the run
+            interleaves routing batches with deterministic seeded
+            topology mutations through ``network.evolve``, and the
+            summary carries per-epoch stretch rows
+            (:attr:`TrafficSummary.epochs`).  In this mode ``scheme``
+            is a registered scheme *label*, ``network`` is required,
+            ``workload``/``oracle`` must be omitted (the timeline
+            defines the traffic), and the run delegates to
+            :func:`repro.runtime.churn.run_timeline`.
+        network: the generation-1 :class:`~repro.api.network.Network`
+            the timeline starts from (timeline mode only).
 
     Raises:
         GraphError: if any pair has ``source == destination``
@@ -615,6 +716,25 @@ def run_workload(
             first (input-order) failure would, even when a later shard
             fails faster.
     """
+    if events is not None:
+        from repro.runtime.churn import run_timeline
+
+        if network is None:
+            raise GraphError("run_workload(events=...) needs network=")
+        if workload is not None or oracle is not None:
+            raise GraphError(
+                "run_workload(events=...) defines its traffic from the "
+                "timeline; do not pass workload= or oracle="
+            )
+        summary, _net = run_timeline(
+            network, scheme, events,
+            hop_limit=hop_limit, engine=engine, shards=shards,
+            shard_size=shard_size, jobs=jobs, executor=executor,
+            tables=tables,
+        )
+        return summary
+    if workload is None:
+        raise GraphError("run_workload needs a workload (or events=)")
     if isinstance(workload, Workload):
         kind, pairs = workload.kind, workload.pairs
     else:

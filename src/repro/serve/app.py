@@ -210,14 +210,24 @@ class ServeApp:
     async def _reload(self, doc: Dict[str, Any]) -> Dict[str, Any]:
         req = ReloadRequest.from_doc(doc)
         old, new = await self.lifecycle.reload(
-            family=req.family, n=req.n, seed=req.seed
+            family=req.family, n=req.n, seed=req.seed, delta=req.delta
         )
-        return {
+        body = {
             "reloaded": True,
             "old_generation": old.id,
             "generation": new.id,
             "graph": new.describe(),
         }
+        if req.delta is not None:
+            repair = new.network.stats().repair
+            body["delta"] = {
+                "ops": req.delta.op_names(),
+                "network_generation": new.network.generation,
+                "repair": (
+                    None if repair is None else repair.as_dict()
+                ),
+            }
+        return body
 
     # ------------------------------------------------------------------
     async def dispatch(

@@ -21,6 +21,7 @@ import socket
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ReproError
+from repro.graph.delta import GraphDelta
 from repro.runtime.traffic import TrafficSummary
 from repro.serve.protocol import (
     ProtocolError,
@@ -166,9 +167,18 @@ class ServeClient:
         family: Optional[str] = None,
         n: Optional[int] = None,
         seed: Optional[int] = None,
+        delta: Any = None,
     ) -> Dict[str, Any]:
         """Gracefully swap the daemon's graph snapshot; omitted fields
         keep their current values.  Blocks until the new generation
-        serves and the old one drained."""
-        req = ReloadRequest(family=family, n=n, seed=seed)
+        serves and the old one drained.
+
+        ``delta`` — a :class:`~repro.graph.delta.GraphDelta` or its
+        document form — evolves the *current* generation's network
+        instead of building a fresh snapshot (mutually exclusive with
+        family/n/seed); the response's ``delta`` block reports the
+        applied ops and the repair accounting."""
+        if delta is not None and not isinstance(delta, GraphDelta):
+            delta = GraphDelta.from_doc(delta)
+        req = ReloadRequest(family=family, n=n, seed=seed, delta=delta)
         return self._request("POST", "/reload", req.to_doc())

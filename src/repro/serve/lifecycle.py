@@ -227,6 +227,25 @@ class Lifecycle:
             router.resolve_engine()
         return gen
 
+    def _evolve_generation(self, old: Generation, delta) -> Generation:
+        """Build the successor generation from a topology delta
+        (synchronous; runs on a worker thread while the old generation
+        keeps serving).  The new network descends from the old one
+        through :meth:`~repro.api.Network.evolve` — carrying memory
+        artifacts and repairing the oracle incrementally where the
+        protocol applies — and its schemes/engines pre-warm exactly
+        like a snapshot reload's."""
+        network = old.network.evolve(delta)
+        self._gen_counter += 1
+        gen = Generation(
+            self._gen_counter, network, old.family,
+            broker_opts=self._broker_opts,
+        )
+        for scheme in self.schemes:
+            router = gen.router(scheme)
+            router.resolve_engine()
+        return gen
+
     @property
     def current(self) -> Generation:
         """The generation new requests land on."""
@@ -254,6 +273,7 @@ class Lifecycle:
         family: Optional[str] = None,
         n: Optional[int] = None,
         seed: Optional[int] = None,
+        delta: Any = None,
         on_built: Optional[Callable[[], None]] = None,
     ) -> Tuple[Generation, Generation]:
         """Swap in a new graph snapshot without dropping requests.
@@ -266,6 +286,11 @@ class Lifecycle:
         Args:
             family/n/seed: snapshot parameters; ``None`` keeps the
                 current generation's value.
+            delta: a :class:`~repro.graph.delta.GraphDelta` to fold
+                into the *current* generation's network through
+                :meth:`~repro.api.Network.evolve` instead of building
+                a fresh snapshot (mutually exclusive with
+                family/n/seed).
             on_built: test hook invoked right after the swap, before
                 the old generation's drain completes.
 
@@ -277,15 +302,25 @@ class Lifecycle:
             self._reload_lock = asyncio.Lock()
         async with self._reload_lock:
             old = self._current
-            target = (
-                family if family is not None else old.family,
-                n if n is not None else old.network.n,
-                seed if seed is not None else old.network.seed,
-            )
             loop = asyncio.get_running_loop()
-            new_gen = await loop.run_in_executor(
-                None, self._build_generation, *target
-            )
+            if delta is not None:
+                if any(v is not None for v in (family, n, seed)):
+                    raise ProtocolError(
+                        "pass either 'delta' or 'family'/'n'/'seed', "
+                        "not both"
+                    )
+                new_gen = await loop.run_in_executor(
+                    None, self._evolve_generation, old, delta
+                )
+            else:
+                target = (
+                    family if family is not None else old.family,
+                    n if n is not None else old.network.n,
+                    seed if seed is not None else old.network.seed,
+                )
+                new_gen = await loop.run_in_executor(
+                    None, self._build_generation, *target
+                )
             # The swap itself is atomic on the loop: no await between
             # retiring the old generation and installing the new one.
             self._current = new_gen

@@ -32,8 +32,9 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.exceptions import ReproError
-from repro.runtime.traffic import TrafficSummary, WORKLOAD_KINDS
+from repro.exceptions import GraphError, ReproError
+from repro.graph.delta import GraphDelta
+from repro.runtime.traffic import EpochStretch, TrafficSummary, WORKLOAD_KINDS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.router import RouteResult
@@ -245,17 +246,38 @@ class WorkloadRequest:
 class ReloadRequest:
     """``POST /reload``: swap in a new graph snapshot.
 
-    Every field defaults to the current generation's value, so an empty
-    body reloads the same graph (a fresh-artifact restart without
-    downtime).
+    Two mutually exclusive forms:
+
+    * **snapshot** — ``family``/``n``/``seed`` (each defaulting to the
+      current generation's value, so an empty body reloads the same
+      graph: a fresh-artifact restart without downtime);
+    * **delta** — a :class:`~repro.graph.delta.GraphDelta` document
+      (``{"delta": {"ops": [...]}}``) evolved from the *current*
+      generation's network through
+      :meth:`~repro.api.network.Network.evolve`, carrying artifacts
+      and repairing the oracle incrementally where the protocol
+      applies.
     """
 
     family: Optional[str] = None
     n: Optional[int] = None
     seed: Optional[int] = None
+    delta: Optional[GraphDelta] = None
 
     @classmethod
     def from_doc(cls, doc: Mapping[str, Any]) -> "ReloadRequest":
+        delta_doc = doc.get("delta")
+        delta: Optional[GraphDelta] = None
+        if delta_doc is not None:
+            if any(doc.get(f) is not None for f in ("family", "n", "seed")):
+                raise ProtocolError(
+                    "pass either 'delta' or 'family'/'n'/'seed', not both"
+                )
+            try:
+                delta = GraphDelta.from_doc(delta_doc)
+            except GraphError as exc:
+                raise ProtocolError(f"malformed delta: {exc}")
+            return cls(delta=delta)
         n = _optional_int(doc, "n")
         if n is not None and n < 2:
             raise ProtocolError(f"field 'n' must be >= 2, got {n}")
@@ -271,6 +293,8 @@ class ReloadRequest:
             value = getattr(self, field)
             if value is not None:
                 doc[field] = value
+        if self.delta is not None:
+            doc["delta"] = self.delta.to_doc()
         return doc
 
 
@@ -340,11 +364,14 @@ _SUMMARY_FIELDS = (
 
 
 def encode_summary(summary: TrafficSummary) -> Dict[str, Any]:
-    """A :class:`TrafficSummary` as a wire dict (all fields)."""
+    """A :class:`TrafficSummary` as a wire dict (all fields; the
+    ``epochs`` key only travels for churn-timeline summaries)."""
     doc: Dict[str, Any] = {
         field: getattr(summary, field) for field in _SUMMARY_FIELDS
     }
     doc["worst_pair"] = list(summary.worst_pair)
+    if summary.epochs:
+        doc["epochs"] = [e.as_dict() for e in summary.epochs]
     return doc
 
 
@@ -356,6 +383,9 @@ def decode_summary(doc: Mapping[str, Any]) -> TrafficSummary:
     """
     try:
         worst = doc["worst_pair"]
+        epochs = tuple(
+            EpochStretch.from_dict(e) for e in doc.get("epochs", ())
+        )
         return TrafficSummary(
             kind=str(doc["kind"]),
             pairs=int(doc["pairs"]),
@@ -369,6 +399,7 @@ def decode_summary(doc: Mapping[str, Any]) -> TrafficSummary:
             max_stretch=float(doc["max_stretch"]),
             worst_pair=(int(worst[0]), int(worst[1])),
             elapsed_s=float(doc["elapsed_s"]),
+            epochs=epochs,
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise ProtocolError(f"malformed traffic summary: {exc}")

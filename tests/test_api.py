@@ -112,7 +112,7 @@ class TestNetwork:
         net = make_network(n=18, seed=5)
         s6 = net.build_scheme("stretch6")
         rtz = net.build_scheme("rtz")
-        info = net.cache_info()
+        info = net.stats().cache.as_dict()
         assert info["metric"]["builds"] == 1
         assert info["metric"]["hits"] >= 1
         assert info["rtz"]["builds"] == 1
@@ -126,7 +126,7 @@ class TestNetwork:
         net = make_network(n=14, seed=2)
         ex = net.build_scheme("exstretch", k=2)
         poly = net.build_scheme("polystretch", k=2)
-        assert net.cache_info()["hierarchy[k=2]"]["builds"] == 1
+        assert net.stats().cache.as_dict()["hierarchy[k=2]"]["builds"] == 1
         assert ex.spanner.hierarchy is poly.hierarchy
 
     def test_build_scheme_cached_per_params(self):
@@ -169,14 +169,9 @@ class TestNetwork:
             Network.from_family("nope", 12)
         assert "cycle" in str(exc.value)
 
-    def test_instance_bridge_matches_artifacts(self):
+    def test_instance_bridge_removed(self):
         net = make_network(n=12, seed=8)
-        with pytest.deprecated_call():
-            inst = net.instance()
-        assert inst.graph is net.graph
-        assert inst.oracle is net.oracle()
-        assert inst.naming is net.naming()
-        assert inst.metric is net.metric()
+        assert not hasattr(net, "instance")
 
     def test_deterministic_across_networks(self):
         a = make_network(n=12, seed=11)

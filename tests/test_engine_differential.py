@@ -336,7 +336,7 @@ def test_mixed_workload_stretch_consistency(net):
         results[engine] = [
             (r.cost, r.hops, r.max_header_bits, r.stretch) for r in batch
         ]
-        info = router.engine_info()
+        info = router.stats().as_dict()
         assert info[engine]["pairs"] == 3
         other = "python" if engine == "vectorized" else "vectorized"
         assert info[other]["pairs"] == 0

@@ -455,6 +455,164 @@ def test_http_reload_under_load_zero_drops():
 
 
 # ----------------------------------------------------------------------
+# delta reloads: POST /reload with a topology mutation
+# ----------------------------------------------------------------------
+
+def test_delta_reload_evolves_in_process():
+    """A /reload carrying a delta body evolves the current network
+    (generation-linked, incremental oracle repair) instead of building
+    a fresh snapshot, and the swapped generation routes exactly like a
+    directly-evolved network."""
+    app = build_app(small_config())
+    base = Network.from_family("random", 24, seed=0, store=None)
+    edge = next(iter(base.graph.edges()))
+    delta_doc = {"ops": [{
+        "op": "reweight", "tail": edge.tail, "head": edge.head,
+        "weight": 7.77,
+    }]}
+    pairs = make_pairs(10, n=24, seed=5)
+    base.oracle()
+    expected_net = base.evolve(delta_doc)
+    expected = [
+        route_key(r)
+        for r in expected_net.router("stretch6").route_many(pairs)
+    ]
+
+    async def main():
+        status, raw = await app.dispatch(
+            "POST", "/reload", json.dumps({"delta": delta_doc}).encode()
+        )
+        assert status == 200, raw
+        doc = decode_body(raw)
+        assert doc["old_generation"] == 1
+        assert doc["generation"] == 2
+        assert doc["delta"]["ops"] == ["reweight"]
+        assert doc["delta"]["network_generation"] == 2
+        # the daemon warmed the old oracle at startup, so the evolve
+        # path must have repaired incrementally, not rebuilt
+        assert doc["delta"]["repair"]["incremental"] == 1
+        assert doc["delta"]["repair"]["full_rebuilds"] == 0
+        body = json.dumps({"pairs": [[s, t] for s, t in pairs]}).encode()
+        status, raw = await app.dispatch("POST", "/route_many", body)
+        assert status == 200, raw
+        generation, routes = decode_results(decode_body(raw))
+        assert generation == 2
+        assert [route_key(r) for r in routes] == expected
+
+    asyncio.run(main())
+
+
+def test_delta_reload_validation_in_process():
+    """Delta bodies are validated at the protocol layer: mutually
+    exclusive with snapshot parameters, and malformed ops are rejected
+    before any build starts."""
+    app = build_app(small_config())
+
+    async def main():
+        status, raw = await app.dispatch(
+            "POST", "/reload",
+            json.dumps({"delta": {"ops": [{"op": "link_down", "tail": 0,
+                                           "head": 1}]},
+                        "seed": 5}).encode(),
+        )
+        assert status == 400
+        with pytest.raises(ProtocolError, match="not both"):
+            decode_body(raw)
+        status, raw = await app.dispatch(
+            "POST", "/reload",
+            json.dumps({"delta": {"ops": [{"op": "teleport"}]}}).encode(),
+        )
+        assert status == 400
+        with pytest.raises(ProtocolError, match="malformed delta"):
+            decode_body(raw)
+        # a delta inconsistent with the live graph (no such edge) maps
+        # to a client error too, and the generation is unchanged
+        status, raw = await app.dispatch(
+            "POST", "/reload",
+            json.dumps({"delta": {"ops": [{"op": "reweight", "tail": 0,
+                                           "head": 0, "weight": 1.0}]}}
+                       ).encode(),
+        )
+        assert status == 400
+        status, raw = await app.dispatch("GET", "/healthz", b"")
+        assert decode_body(raw)["generation"] == 1
+
+    asyncio.run(main())
+
+
+def test_http_delta_reload_under_load_zero_drops():
+    """Worker threads hammer /route_many while a delta reload evolves
+    the graph over the wire: no request drops, responses match their
+    tagged generation, and traffic spans the swap."""
+    config = ServeConfig(
+        family="random", n=24, seed=0, schemes=("stretch6",),
+        port=0, linger_s=0.005,
+    )
+    base = Network.from_family("random", 24, seed=0, store=None)
+    edge = next(iter(base.graph.edges()))
+    delta_doc = {"ops": [{
+        "op": "reweight", "tail": edge.tail, "head": edge.head,
+        "weight": 6.25,
+    }]}
+    pairs = make_pairs(10, n=24, seed=3)
+    base.oracle()
+    evolved = base.evolve(delta_doc)
+    expected = {
+        1: [route_key(r) for r in base.router("stretch6").route_many(pairs)],
+        2: [route_key(r) for r in evolved.router("stretch6").route_many(pairs)],
+    }
+    daemon = ServeDaemon(config).start()
+    try:
+        stop = threading.Event()
+        failures = []
+        seen = set()
+
+        def worker():
+            try:
+                with ServeClient(port=daemon.port) as client:
+                    while not stop.is_set():
+                        generation, routes = client.route_many(pairs)
+                        got = [route_key(r) for r in routes]
+                        if got != expected[generation]:
+                            failures.append((generation, got))
+                        seen.add(generation)
+            except Exception as exc:  # any drop / error fails the test
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        with ServeClient(port=daemon.port) as client:
+            doc = client.reload(delta=delta_doc)
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join(30)
+        assert not failures, failures[:3]
+        assert doc["old_generation"] == 1
+        assert doc["generation"] == 2
+        assert doc["delta"]["ops"] == ["reweight"]
+        assert doc["delta"]["repair"]["incremental"] == 1
+        assert seen == {1, 2}, f"traffic must span the swap, saw {seen}"
+        with ServeClient(port=daemon.port) as client:
+            generation, _ = client.route_many(pairs)
+        assert generation == 2
+    finally:
+        daemon.stop()
+
+
+def test_client_rejects_malformed_delta_before_the_wire():
+    """ServeClient.reload(delta=) parses document deltas client-side,
+    so a malformed delta raises GraphError without a daemon."""
+    from repro.exceptions import GraphError
+
+    client = ServeClient(port=1)  # never connected
+    with pytest.raises(GraphError):
+        client.reload(delta={"ops": [{"op": "teleport"}]})
+
+
+# ----------------------------------------------------------------------
 # satellite regressions
 # ----------------------------------------------------------------------
 
@@ -478,15 +636,15 @@ def test_network_artifact_builds_once_under_threads():
         t.join()
 
     assert all(r is results[0] for r in results)
-    info = net.cache_info()
+    info = net.stats().cache.as_dict()
     label = next(lbl for lbl in info if "oracle" in lbl)
     assert info[label]["builds"] == 1
     assert info[label]["hits"] == 7
 
 
 def test_cli_paths_emit_no_deprecation_warnings(capsys):
-    """The Network.instance() deprecation is fully retired from CLI
-    paths: no repro-originated DeprecationWarning escapes."""
+    """CLI paths are deprecation-clean: no repro-originated
+    DeprecationWarning escapes."""
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         assert main(["stretch", "--n", "16", "--pairs", "20"]) == 0

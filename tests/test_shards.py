@@ -370,10 +370,10 @@ class TestElapsedExcludesCompile:
 
 
 class TestRouterShardAccounting:
-    def test_engine_info_counts_shards(self, net, workload):
+    def test_engine_stats_count_shards(self, net, workload):
         router = net.router("stretch6", jobs=2)
         router.serve_workload(workload, shards=4)
-        info = router.engine_info()
+        info = router.stats().as_dict()
         assert info["vectorized"]["batches"] == 1
         assert info["vectorized"]["pairs"] == len(workload)
         assert info["vectorized"]["shards"] == 4
@@ -385,12 +385,12 @@ class TestRouterShardAccounting:
         a = router.serve_workload(workload, shards=3)
         b = router.serve_workload(workload, shards=3, jobs=1)
         assert_bit_identical(a, b)
-        assert router.engine_info()["vectorized"]["shards"] == 6
+        assert router.stats().as_dict()["vectorized"]["shards"] == 6
 
     def test_single_queries_count_one_shard(self, net):
         router = net.router("stretch6")
         router.route(0, 9)
-        assert router.engine_info()["python"]["shards"] == 1
+        assert router.stats().as_dict()["python"]["shards"] == 1
 
 
 class TestShardCLI:

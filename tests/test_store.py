@@ -230,7 +230,10 @@ class TestArtifactStore:
     def test_auto_gc_after_put(self, tmp_path):
         probe = ArtifactStore(tmp_path / "probe")
         probe.put(_key(), _arrays())
-        bound = probe.total_bytes()  # fits exactly one entry
+        # Fits exactly one entry.  Manifest sizes jitter by a few bytes
+        # between writes (float repr lengths of the embedded `created`
+        # timestamp), so give headroom well short of a second entry.
+        bound = probe.total_bytes() + 64
         store = ArtifactStore(tmp_path / "bounded", max_bytes=bound)
         for i in range(3):
             store.put(_key(str(i)), _arrays())
@@ -333,16 +336,16 @@ class TestNetworkStoreTier:
     def test_cold_then_warm_counters(self, graph, store):
         cold = Network(graph, seed=3, store=store)
         cold.oracle()
-        assert cold.cache_info()["oracle"]["builds"] == 1
+        assert cold.stats().cache.as_dict()["oracle"]["builds"] == 1
         assert store.puts >= 1
 
         warm = Network(graph, seed=3, store=store)
         warm.oracle()
-        info = warm.cache_info()["oracle"]
+        info = warm.stats().cache.as_dict()["oracle"]
         assert info["builds"] == 0
         assert info["store_hits"] == 1
         warm.oracle()
-        assert warm.cache_info()["oracle"]["hits"] == 1
+        assert warm.stats().cache.as_dict()["oracle"]["hits"] == 1
 
     def test_store_none_disables_persistence(self, graph, tmp_path):
         net = Network(graph, seed=3, store=None)
@@ -375,7 +378,7 @@ class TestNetworkStoreTier:
         store.put(key, arrays)
         net = Network(graph, seed=3, store=store)
         oracle = net.oracle()
-        assert net.cache_info()["oracle"]["builds"] == 1
+        assert net.stats().cache.as_dict()["oracle"]["builds"] == 1
         assert store.quarantined == 1
         assert oracle.d_matrix.shape == (graph.n, graph.n)
 
@@ -420,7 +423,7 @@ class TestRehydrationBitIdentity:
             resolved = spec.validate_params({})
             label = spec.cache_label(resolved)
             value = rehydrated.artifact(spec.kind)
-            assert rehydrated.cache_info()[label]["store_hits"] == 1, spec.kind
+            assert rehydrated.stats().cache.as_dict()[label]["store_hits"] == 1, spec.kind
             ref_arrays, ref_meta = spec.dump(fresh.artifact(spec.kind))
             got_arrays, got_meta = spec.dump(value)
             assert set(got_arrays) == set(ref_arrays), spec.kind
@@ -454,7 +457,7 @@ class TestRehydrationBitIdentity:
         )
         a = run_workload(warm.build_scheme("rtz"), wl, oracle=warm.oracle())
         b = run_workload(cold.build_scheme("rtz"), wl, oracle=cold.oracle())
-        assert warm.cache_info()["rtz"]["store_hits"] == 1
+        assert warm.stats().cache.as_dict()["rtz"]["store_hits"] == 1
         assert (a.total_cost, a.total_hops) == (b.total_cost, b.total_hops)
         assert (a.max_stretch, a.worst_pair) == (b.max_stretch, b.worst_pair)
 
@@ -519,7 +522,7 @@ class TestArtifactRegistry:
         net.hierarchy(2)
         net.cover(2, 8.0)
         net.hashed_naming()
-        info = net.cache_info()
+        info = net.stats().cache.as_dict()
         assert {"oracle", "rtz", "hierarchy[k=2]",
                 "cover[k=2,scale=8.0]"} <= set(info)
         assert any(label.startswith("hashed[universe=") for label in info)
@@ -529,11 +532,9 @@ class TestArtifactRegistry:
         assert net.oracle() is net.artifact("oracle")
         assert net.rtz() is net.artifact("rtz")
 
-    def test_instance_deprecated(self, graph):
+    def test_instance_shim_removed(self, graph):
         net = Network(graph, seed=2, store=None)
-        with pytest.deprecated_call():
-            inst = net.instance()
-        assert inst.oracle is net.oracle()
+        assert not hasattr(net, "instance")
 
 
 # ----------------------------------------------------------------------
@@ -560,14 +561,16 @@ class TestStatsFamily:
         assert "store: off" in stats.format()
         assert stats.as_dict()["store"] is None
 
-    def test_legacy_shims_preserved(self, graph):
+    def test_stats_family_replaces_dict_shims(self, graph):
         net = Network(graph, seed=2, store=None)
         net.oracle()
-        info = net.cache_info()
+        assert not hasattr(net, "cache_info")
+        info = net.stats().cache.as_dict()
         assert set(info["oracle"]) == {"builds", "hits", "store_hits",
                                        "seconds"}
         router = net.router("stretch6")
-        engines = router.engine_info()
+        assert not hasattr(router, "engine_info")
+        engines = router.stats().as_dict()
         assert set(engines) == {"vectorized", "python"}
         assert set(engines["python"]) == {"batches", "pairs", "seconds",
                                           "shards"}
