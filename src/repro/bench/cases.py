@@ -632,3 +632,54 @@ def _churn_timeline_mixed(ctx: BenchContext):
         EpochSpec(pairs=pairs, events=({"op": "link_up"}, {"op": "link_down"})),
     ))
     return lambda: run_timeline(net, "stretch6", timeline)
+
+
+# ----------------------------------------------------------------------
+# scenario: the committed spec zoo, end to end
+# ----------------------------------------------------------------------
+
+def _scenario_dir():
+    """The committed ``scenarios/`` directory (checkout layout first,
+    cwd fallback)."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[3] / "scenarios"
+    if root.is_dir():
+        return root
+    return Path("scenarios")
+
+
+def _register_scenario_cases() -> None:
+    """One case per committed ``scenarios/*.json`` spec: the whole
+    :func:`repro.scenarios.run_scenario` pipeline — graph build, phase
+    workloads, churn evolution, the execution matrix, and assertion
+    evaluation.  Smoke mode runs the spec's own smoke clamp, exactly
+    what the CI scenario-matrix job executes."""
+    from repro.scenarios import ScenarioError, load_scenario, run_scenario
+
+    for path in sorted(_scenario_dir().glob("*.json")):
+        try:
+            spec = load_scenario(str(path))
+        except ScenarioError:
+            continue  # `repro scenario validate` reports broken specs
+
+        def _setup(ctx: BenchContext, _spec=spec):
+            run = _spec.smoke() if ctx.smoke else _spec
+            return lambda: run_scenario(run, store=None)
+
+        bench_case(
+            f"scenario/{path.stem}",
+            axis="scenario",
+            summary=spec.summary or spec.name,
+            # Scenario runs compound graph builds, churn evolution and
+            # matrix execution; the band guards the composite.
+            tolerance=3.0,
+            tags={
+                "scenario": spec.name,
+                "family": spec.graph.family,
+                "cells": str(spec.matrix.cells),
+            },
+        )(_setup)
+
+
+_register_scenario_cases()

@@ -42,7 +42,7 @@ class UnknownCaseError(ReproError):
 #: The measurement axes the suite covers (ordered as reported).
 AXES = (
     "build", "apsp", "routing", "traffic", "shard", "store", "serve",
-    "memory", "churn",
+    "memory", "churn", "scenario",
 )
 
 #: Default relative tolerance band: a case regresses when its median

@@ -283,11 +283,94 @@ def _traffic_events(
     return 1 if failures else 0
 
 
+def _default_scenario_dir() -> Path:
+    """The committed ``scenarios/`` directory: next to the package's
+    repo root when running from a checkout, else the cwd's."""
+    root = Path(__file__).resolve().parents[2] / "scenarios"
+    if root.is_dir():
+        return root
+    return Path("scenarios")
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioError, load_scenario, run_scenario
+
+    action = args.scenario_command
+    if action == "list":
+        directory = Path(args.dir) if args.dir else _default_scenario_dir()
+        paths = sorted(directory.glob("*.json"))
+        if not paths:
+            print(f"no scenario specs under {directory}")
+            return 0
+        header = f"{'spec':<28} {'phases':>6} {'pairs':>6} {'cells':>5}  summary"
+        print(header)
+        print("-" * len(header))
+        for path in paths:
+            try:
+                spec = load_scenario(str(path))
+            except ScenarioError as exc:
+                print(f"{path.name:<28} INVALID: {exc}")
+                continue
+            print(f"{path.name:<28} {len(spec.phases):>6} "
+                  f"{spec.total_pairs:>6} {spec.matrix.cells:>5}  "
+                  f"{spec.summary or spec.name}")
+        return 0
+    if action == "validate":
+        bad = 0
+        for source in args.spec:
+            try:
+                spec = load_scenario(source)
+            except ScenarioError as exc:
+                print(f"{source}: INVALID: {exc}")
+                bad += 1
+                continue
+            print(f"{source}: ok ({spec.name}: {len(spec.phases)} phases, "
+                  f"{spec.total_pairs} pairs, {spec.matrix.cells} cells)")
+        return 2 if bad else 0
+    if action == "show":
+        import json as _json
+
+        try:
+            spec = load_scenario(args.spec)
+        except ScenarioError as exc:
+            raise SystemExit(str(exc))
+        print(_json.dumps(spec.to_doc(), indent=2, sort_keys=True))
+        return 0
+    if action == "run":
+        _configure_store(args)
+        if args.jobs is not None and args.jobs < 1:
+            raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+        failures = 0
+        for i, source in enumerate(args.spec):
+            try:
+                spec = load_scenario(source)
+                if args.smoke:
+                    spec = spec.smoke()
+                result = run_scenario(spec, jobs=args.jobs)
+            except (ScenarioError, GraphError, RoutingError) as exc:
+                raise SystemExit(str(exc))
+            if i:
+                print()
+            print(result.format())
+            if not result.ok:
+                failures += 1
+        return 1 if failures else 0
+    raise SystemExit(f"unknown scenario command {action!r}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
+    patterns = list(args.filter or [])
+    for axis in args.axis or []:
+        if axis not in bench.AXES:
+            raise SystemExit(
+                f"unknown bench axis {axis!r}; choose from "
+                f"{', '.join(bench.AXES)}"
+            )
+        patterns.append(axis)
     try:
-        cases = bench.select_cases(args.filter)
+        cases = bench.select_cases(patterns)
     except bench.UnknownCaseError as exc:
         raise SystemExit(str(exc))
     smoke = True if args.smoke else None  # None: read REPRO_BENCH_SMOKE
@@ -309,11 +392,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"(iqr {result.iqr_s * 1000:.2f} ms, x{result.repeats}, "
               f"peak {result.peak_bytes / (1 << 20):.1f} MB)")
 
-    if args.rebaseline and args.filter:
+    if args.rebaseline and patterns:
         # A partial run must never overwrite the other cases' entries.
         raise SystemExit(
             "--rebaseline rewrites the whole baseline and cannot be "
-            "combined with --filter; run the full suite"
+            "combined with --filter/--axis; run the full suite"
         )
     if args.rebaseline and args.check:
         raise SystemExit(
@@ -545,9 +628,19 @@ def cmd_client(args: argparse.Namespace) -> int:
         if action == "batch":
             return _client_batch(args, client)
         if action == "workload":
-            generation, summary = client.workload(
-                args.kind, args.pairs, seed=args.seed, scheme=args.scheme
-            )
+            if getattr(args, "scenario", None):
+                from repro.scenarios import ScenarioError
+
+                try:
+                    generation, summary = client.workload(
+                        scenario=args.scenario, scheme=args.scheme
+                    )
+                except ScenarioError as exc:
+                    raise SystemExit(str(exc))
+            else:
+                generation, summary = client.workload(
+                    args.kind, args.pairs, seed=args.seed, scheme=args.scheme
+                )
             print(f"generation : {generation}")
             print(summary.format())
             return 0
@@ -815,6 +908,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_schemes)
 
     p = sub.add_parser(
+        "scenario",
+        help="run, validate and inspect declarative repro-scenario/1 "
+        "specs (graph + workload phases + churn + execution matrix + "
+        "assertions as data)",
+    )
+    scen_sub = p.add_subparsers(dest="scenario_command", required=True)
+    sp = scen_sub.add_parser(
+        "run",
+        help="execute spec files: the full scheme x engine x tables "
+        "matrix, phase workloads, churn events, and declared "
+        "assertions; exits nonzero on any assertion miss",
+    )
+    sp.add_argument("spec", nargs="+", help="spec file path (or inline JSON)")
+    sp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="override the spec's jobs axis with one worker count; the "
+        "summary is bit-identical for any value",
+    )
+    sp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="clamp generator graphs and generated phases to smoke "
+        "size (what the CI scenario-matrix job runs)",
+    )
+    store_opts(sp)
+    sp.set_defaults(func=cmd_scenario)
+    sp = scen_sub.add_parser(
+        "validate", help="schema-check spec files without running them"
+    )
+    sp.add_argument("spec", nargs="+", help="spec file path (or inline JSON)")
+    sp.set_defaults(func=cmd_scenario)
+    sp = scen_sub.add_parser(
+        "list", help="list the committed scenario zoo"
+    )
+    sp.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="spec directory (default: the repo's scenarios/)",
+    )
+    sp.set_defaults(func=cmd_scenario)
+    sp = scen_sub.add_parser(
+        "show", help="print one spec's normalized document (defaults filled)"
+    )
+    sp.add_argument("spec", help="spec file path (or inline JSON)")
+    sp.set_defaults(func=cmd_scenario)
+
+    p = sub.add_parser(
         "store", help="inspect and manage the on-disk artifact store"
     )
     store_sub = p.add_subparsers(dest="store_command", required=True)
@@ -978,6 +1121,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument(
         "--scheme", default=None, help="scheme (default: daemon default)"
     )
+    sp.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="replay a repro-scenario/1 spec's workload phases against "
+        "the daemon's loaded graph (ignores --kind/--pairs/--seed; the "
+        "spec's graph/matrix blocks do not apply; event-carrying specs "
+        "are rejected)",
+    )
     client_opts(sp)
     sp = client_sub.add_parser(
         "reload", help="swap the daemon's graph snapshot gracefully"
@@ -1007,6 +1159,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATTERN",
         help="run only matching cases (fnmatch on the case name, or a "
         "bare axis: build/apsp/routing/traffic/shard/store); repeatable",
+    )
+    p.add_argument(
+        "--axis",
+        action="append",
+        metavar="AXIS",
+        help="run (or --list) only the cases of one measurement axis "
+        "(build/apsp/routing/traffic/shard/store/serve/memory/churn/"
+        "scenario); repeatable, combines with --filter",
     )
     p.add_argument(
         "--smoke",

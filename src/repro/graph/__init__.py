@@ -24,16 +24,21 @@ from repro.graph.delta import (
 )
 from repro.graph.digraph import Digraph, Edge, from_edge_list
 from repro.graph.generators import (
+    FAMILY_NAMES,
     asymmetric_torus,
     bidirect,
     bidirected_clique,
     bidirected_hypercube,
     bidirected_torus,
     directed_cycle,
+    grid_with_shortcuts,
     layered_random,
+    parse_edgelist,
+    power_law_directed,
     random_dht_overlay,
     random_strongly_connected,
     scale_free_directed,
+    snapshot_from_edgelist,
     standard_families,
 )
 from repro.graph.repair import (
@@ -86,6 +91,7 @@ __all__ = [
     "is_strongly_connected",
     "require_strongly_connected",
     "condensation_order",
+    "FAMILY_NAMES",
     "random_strongly_connected",
     "directed_cycle",
     "bidirected_torus",
@@ -93,6 +99,10 @@ __all__ = [
     "random_dht_overlay",
     "layered_random",
     "scale_free_directed",
+    "power_law_directed",
+    "grid_with_shortcuts",
+    "parse_edgelist",
+    "snapshot_from_edgelist",
     "bidirected_clique",
     "bidirected_hypercube",
     "bidirect",

@@ -20,6 +20,15 @@ the paper's introduction motivates:
   for one-way routing that motivates roundtrip routing.
 * :func:`scale_free_directed` — preferential attachment with hubs,
   an AS-internet-like topology.
+* :func:`power_law_directed` — explicit power-law out-degrees (a
+  configuration-model cousin of the preferential-attachment family;
+  the degree exponent is a knob, which scenario specs exploit).
+* :func:`grid_with_shortcuts` — the torus grid plus random long-range
+  bidirected shortcut chords, the small-world regime between the pure
+  grid and the random digraph.
+* :func:`snapshot_from_edgelist` — a frozen graph parsed from an
+  edge-list text (``tail head [weight]`` lines), so recorded topology
+  snapshots can be committed and replayed as scenario data.
 * :func:`bidirected_clique`, :func:`bidirected_hypercube` — dense
   bidirected instances used by the lower-bound experiments (Section 5
   reduces roundtrip hardness to undirected hardness on exactly this
@@ -300,6 +309,229 @@ def scale_free_directed(
     return g.freeze(rng)
 
 
+def power_law_directed(
+    n: int,
+    rng: Optional[random.Random] = None,
+    exponent: float = 2.2,
+    max_degree: Optional[int] = None,
+    w_lo: float = 1.0,
+    w_hi: float = 3.0,
+) -> Digraph:
+    """Directed graph with explicit power-law out-degrees.
+
+    Each vertex draws its out-degree from ``P(d) ~ d^-exponent`` over
+    ``1..max_degree`` (inverse-CDF sampling, default cap ``n // 4``)
+    and attaches that many chords to uniformly random targets; a
+    shuffled backbone cycle guarantees strong connectivity.  Unlike
+    :func:`scale_free_directed` (preferential attachment, where the
+    exponent is emergent), the degree exponent here is a direct knob —
+    the property scenario specs parameterize.
+
+    Raises:
+        GraphError: for ``exponent <= 1`` (the tail mass diverges) or
+            an invalid ``max_degree``.
+    """
+    if exponent <= 1.0:
+        raise GraphError(f"power-law exponent must be > 1, got {exponent}")
+    rng = rng or random.Random(0)
+    if n < 3:
+        return directed_cycle(n, rng)
+    cap = max_degree if max_degree is not None else max(1, n // 4)
+    if not 1 <= cap < n:
+        raise GraphError(f"max_degree must be in [1, n), got {cap}")
+    # Inverse-CDF table over the truncated power law.
+    masses = [d ** -exponent for d in range(1, cap + 1)]
+    total = sum(masses)
+    cdf = []
+    acc = 0.0
+    for m in masses:
+        acc += m
+        cdf.append(acc / total)
+
+    def draw_degree() -> int:
+        u = rng.random()
+        for d, threshold in enumerate(cdf, start=1):
+            if u <= threshold:
+                return d
+        return cap
+
+    g = Digraph(n)
+    present = set()
+
+    def add(u: int, v: int, w: float) -> None:
+        if u != v and (u, v) not in present:
+            g.add_edge(u, v, w)
+            present.add((u, v))
+
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(n):
+        add(order[i], order[(i + 1) % n], _weight(rng, w_lo, w_hi))
+    for u in range(n):
+        wanted = draw_degree()
+        attempts = 0
+        added = 0
+        while added < wanted and attempts < 10 * wanted + 10:
+            attempts += 1
+            v = rng.randrange(n)
+            if v == u or (u, v) in present:
+                continue
+            add(u, v, _weight(rng, w_lo, w_hi))
+            added += 1
+    return g.freeze(rng)
+
+
+def grid_with_shortcuts(
+    rows: int,
+    cols: int,
+    rng: Optional[random.Random] = None,
+    shortcuts: Optional[int] = None,
+    w_lo: float = 1.0,
+    w_hi: float = 1.0,
+    shortcut_lo: float = 1.0,
+    shortcut_hi: float = 2.0,
+) -> Digraph:
+    """A bidirected torus grid with random long-range shortcut chords.
+
+    Starts from :func:`bidirected_torus`'s edge set and adds
+    ``shortcuts`` (default ``rows * cols // 4``) bidirected chords
+    between uniformly random vertex pairs — the small-world regime
+    where most pairs ride the grid but a few hop across it, sitting
+    between the pure torus and the random digraph.
+
+    Raises:
+        GraphError: for a negative shortcut count.
+    """
+    rng = rng or random.Random(0)
+    n = rows * cols
+    count = shortcuts if shortcuts is not None else n // 4
+    if count < 0:
+        raise GraphError(f"shortcuts must be >= 0, got {count}")
+
+    def vid(r: int, c: int) -> int:
+        return (r % rows) * cols + (c % cols)
+
+    g = Digraph(n)
+    present = set()
+
+    def add_both(u: int, v: int, w: float) -> None:
+        for (a, b) in ((u, v), (v, u)):
+            if (a, b) not in present:
+                g.add_edge(a, b, w)
+                present.add((a, b))
+
+    for r in range(rows):
+        for c in range(cols):
+            u = vid(r, c)
+            for (dr, dc) in ((0, 1), (1, 0)):
+                add_both(u, vid(r + dr, c + dc), _weight(rng, w_lo, w_hi))
+    added = 0
+    attempts = 0
+    while added < count and attempts < 20 * count + 20:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or (u, v) in present:
+            continue
+        add_both(u, v, _weight(rng, shortcut_lo, shortcut_hi))
+        added += 1
+    return g.freeze(rng)
+
+
+def parse_edgelist(text: str) -> Tuple[int, List[Tuple[int, int, float]]]:
+    """Parse edge-list text into ``(n, [(tail, head, weight), ...])``.
+
+    One edge per line as ``tail head [weight]`` (whitespace- or
+    comma-separated, weight defaults to 1.0); blank lines and ``#``
+    comments are ignored.  ``n`` is ``max vertex id + 1``.
+
+    Raises:
+        GraphError: for malformed lines, negative ids, nonpositive
+            weights, duplicate edges, self-loops, or an empty list —
+            each naming the offending line number.
+    """
+    edges: List[Tuple[int, int, float]] = []
+    seen = set()
+    top = -1
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        if len(parts) not in (2, 3):
+            raise GraphError(
+                f"edgelist line {lineno}: expected 'tail head [weight]', "
+                f"got {line!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+        except ValueError:
+            raise GraphError(
+                f"edgelist line {lineno}: expected 'tail head [weight]', "
+                f"got {line!r}"
+            )
+        if u < 0 or v < 0:
+            raise GraphError(
+                f"edgelist line {lineno}: vertex ids must be >= 0"
+            )
+        if u == v:
+            raise GraphError(
+                f"edgelist line {lineno}: self-loop {u} -> {v}"
+            )
+        if w <= 0:
+            raise GraphError(
+                f"edgelist line {lineno}: weight must be positive, got {w}"
+            )
+        if (u, v) in seen:
+            raise GraphError(
+                f"edgelist line {lineno}: duplicate edge {u} -> {v}"
+            )
+        seen.add((u, v))
+        edges.append((u, v, w))
+        top = max(top, u, v)
+    if not edges:
+        raise GraphError("edgelist has no edges")
+    return top + 1, edges
+
+
+def snapshot_from_edgelist(
+    source,
+    rng: Optional[random.Random] = None,
+) -> Digraph:
+    """A frozen graph from an edge-list file or its text.
+
+    ``source`` is a filesystem path (anything without a newline that
+    names an existing file) or the edge-list text itself; the parsed
+    graph must be strongly connected — snapshots exist to be routed on.
+
+    Raises:
+        GraphError: for unreadable files, malformed lines (see
+            :func:`parse_edgelist`), or a snapshot that is not
+            strongly connected.
+    """
+    text = str(source)
+    if "\n" not in text:
+        from pathlib import Path
+
+        try:
+            text = Path(text).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise GraphError(f"cannot read edgelist file: {exc}")
+    n, edges = parse_edgelist(text)
+    g = Digraph(n)
+    for (u, v, w) in edges:
+        g.add_edge(u, v, w)
+    g = g.freeze(rng or random.Random(0))
+    comps = strongly_connected_components(g)
+    if len(comps) != 1:
+        raise GraphError(
+            f"edgelist snapshot is not strongly connected "
+            f"({len(comps)} components)"
+        )
+    return g
+
+
 def bidirected_clique(
     n: int,
     rng: Optional[random.Random] = None,
@@ -366,6 +598,14 @@ def bidirect(g: Digraph, rng: Optional[random.Random] = None) -> Digraph:
 
 GeneratorFn = Callable[[int, random.Random], Digraph]
 
+#: Family names :func:`standard_families` builds, in registry order.
+#: Kept as a plain tuple so spec validation (:mod:`repro.scenarios`)
+#: can list the choices without eagerly generating nine graphs.
+FAMILY_NAMES = (
+    "random", "cycle", "torus", "asym-torus", "dht", "layered",
+    "scale-free", "power-law", "grid-shortcuts",
+)
+
 
 def standard_families(n: int, seed: int = 0) -> Dict[str, Digraph]:
     """The benchmark suite: one representative graph per family at
@@ -384,6 +624,10 @@ def standard_families(n: int, seed: int = 0) -> Dict[str, Digraph]:
         "dht": random_dht_overlay(n, rng=random.Random(seed + 4)),
         "layered": layered_random(layers, 8, rng=random.Random(seed + 5)),
         "scale-free": scale_free_directed(n, rng=random.Random(seed + 6)),
+        "power-law": power_law_directed(n, rng=random.Random(seed + 7)),
+        "grid-shortcuts": grid_with_shortcuts(
+            side, side, rng=random.Random(seed + 8)
+        ),
     }
 
 

@@ -41,8 +41,15 @@ from repro.graph.shortest_paths import DistanceOracle
 from repro.runtime.scheme import RoutingScheme
 from repro.runtime.simulator import Simulator
 
-#: Workload kinds understood by :func:`generate_workload`.
-WORKLOAD_KINDS = ("uniform", "hotspot", "adversarial", "mixed")
+#: Workload kinds understood by :func:`generate_workload`.  The last
+#: three — zipf-skewed hotspots, flash crowds, and diurnal ramps — are
+#: the scenario-zoo shapes (:mod:`repro.scenarios`); they are plain
+#: kinds here so every consumer (CLI ``--workload``, churn timelines,
+#: the serve daemon) accepts them uniformly.
+WORKLOAD_KINDS = (
+    "uniform", "hotspot", "adversarial", "mixed",
+    "zipf", "flash-crowd", "diurnal",
+)
 
 #: Shard executors understood by :func:`run_workload`.
 EXECUTORS = ("serial", "threads", "processes")
@@ -185,12 +192,156 @@ def mixed_pairs(
     return pairs
 
 
+def zipf_pairs(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    alpha: float = 1.2,
+) -> List[Tuple[int, int]]:
+    """Traffic whose destination popularity follows a Zipf law.
+
+    A random permutation of the vertices defines the popularity ranks;
+    destination rank ``k`` is drawn with probability proportional to
+    ``k^-alpha`` (inverse-CDF sampling), sources stay uniform.  The
+    content-distribution regime between :func:`hotspot_pairs` (a flat
+    hot set) and :func:`uniform_pairs` (no skew at all).
+
+    Raises:
+        GraphError: for ``alpha <= 0``.
+    """
+    _check_args(n, count)
+    if alpha <= 0:
+        raise GraphError(f"zipf alpha must be > 0, got {alpha}")
+    if count == 0:
+        return []
+    rng = rng or random.Random(0)
+    ranked = list(range(n))
+    rng.shuffle(ranked)
+    cdf = []
+    acc = 0.0
+    for k in range(1, n + 1):
+        acc += k ** -alpha
+        cdf.append(acc)
+    total = cdf[-1]
+    pairs = []
+    for _ in range(count):
+        u = rng.random() * total
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        t = ranked[lo]
+        s = rng.randrange(n - 1)
+        if s >= t:
+            s += 1
+        pairs.append((s, t))
+    return pairs
+
+
+def flash_crowd_pairs(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    targets: int = 1,
+    bias: float = 0.95,
+) -> List[Tuple[int, int]]:
+    """A flash crowd: nearly all traffic slams a tiny target set.
+
+    ``bias`` of the pairs go to one of ``targets`` crowd destinations
+    (drawn per pair), the rest stay uniform background — the
+    thundering-herd extreme of :func:`hotspot_pairs`.
+
+    Raises:
+        GraphError: for ``targets`` outside ``[1, n]`` or ``bias``
+            outside ``[0, 1]``.
+    """
+    _check_args(n, count)
+    if count == 0:
+        return []
+    if not 1 <= targets <= n:
+        raise GraphError(f"flash-crowd targets must be in [1, n], got {targets}")
+    if not 0.0 <= bias <= 1.0:
+        raise GraphError(f"flash-crowd bias must be in [0, 1], got {bias}")
+    rng = rng or random.Random(0)
+    crowd = rng.sample(range(n), targets)
+    pairs = []
+    for _ in range(count):
+        if rng.random() < bias:
+            t = rng.choice(crowd)
+        else:
+            t = rng.randrange(n)
+        s = rng.randrange(n - 1)
+        if s >= t:
+            s += 1
+        pairs.append((s, t))
+    return pairs
+
+
+def diurnal_pairs(
+    n: int,
+    count: int,
+    rng: Optional[random.Random] = None,
+    cycles: float = 1.0,
+    low: float = 0.1,
+    high: float = 0.9,
+    num_hotspots: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """A diurnal ramp: hotspot intensity follows a day/night sinusoid.
+
+    Pair ``i`` of ``count`` targets a hot destination with probability
+    tracing ``cycles`` sinusoidal cycles between ``low`` (night) and
+    ``high`` (peak) across the batch, so a sharded run executes the
+    morning ramp, the peak, and the evening falloff in order.  The hot
+    set has ``num_hotspots`` members (default ``max(1, n // 16)``).
+
+    Raises:
+        GraphError: for a non-positive ``cycles`` or ``low``/``high``
+            outside ``[0, 1]`` or out of order.
+    """
+    import math
+
+    _check_args(n, count)
+    if count == 0:
+        return []
+    if cycles <= 0:
+        raise GraphError(f"diurnal cycles must be > 0, got {cycles}")
+    if not 0.0 <= low <= high <= 1.0:
+        raise GraphError(
+            f"diurnal low/high must satisfy 0 <= low <= high <= 1, "
+            f"got low={low}, high={high}"
+        )
+    rng = rng or random.Random(0)
+    k = num_hotspots if num_hotspots is not None else max(1, n // 16)
+    if not 1 <= k <= n:
+        raise GraphError(f"num_hotspots must be in [1, n], got {k}")
+    hot = rng.sample(range(n), k)
+    mid = (low + high) / 2.0
+    amp = (high - low) / 2.0
+    pairs = []
+    for i in range(count):
+        phase = 2.0 * math.pi * cycles * (i / count)
+        p = mid - amp * math.cos(phase)  # i=0 is night, peaks mid-cycle
+        if rng.random() < p:
+            t = rng.choice(hot)
+        else:
+            t = rng.randrange(n)
+        s = rng.randrange(n - 1)
+        if s >= t:
+            s += 1
+        pairs.append((s, t))
+    return pairs
+
+
 def generate_workload(
     kind: str,
     n: int,
     count: int,
     rng: Optional[random.Random] = None,
     oracle: Optional[DistanceOracle] = None,
+    **params,
 ) -> Workload:
     """Build a :class:`Workload` of one of the standard kinds.
 
@@ -201,20 +352,38 @@ def generate_workload(
         rng: randomness source.
         oracle: required for ``"adversarial"``; optional (but
             recommended) for ``"mixed"``.
+        **params: kind-specific shape knobs, forwarded to the pair
+            generator (e.g. ``alpha=`` for ``zipf``, ``targets=`` /
+            ``bias=`` for ``flash-crowd``, ``cycles=`` / ``low=`` /
+            ``high=`` for ``diurnal``, ``num_hotspots=`` /
+            ``hotspot_bias=`` for ``hotspot``).
+
+    Raises:
+        GraphError: for unknown kinds, parameters the kind does not
+            accept, or invalid parameter values.
     """
-    if kind == "uniform":
-        return Workload(kind, uniform_pairs(n, count, rng))
-    if kind == "hotspot":
-        return Workload(kind, hotspot_pairs(n, count, rng))
+    generators = {
+        "uniform": lambda: uniform_pairs(n, count, rng, **params),
+        "hotspot": lambda: hotspot_pairs(n, count, rng, **params),
+        "mixed": lambda: mixed_pairs(n, count, rng, oracle, **params),
+        "zipf": lambda: zipf_pairs(n, count, rng, **params),
+        "flash-crowd": lambda: flash_crowd_pairs(n, count, rng, **params),
+        "diurnal": lambda: diurnal_pairs(n, count, rng, **params),
+    }
     if kind == "adversarial":
         if oracle is None:
             raise GraphError("adversarial workloads need a DistanceOracle")
-        return Workload(kind, adversarial_pairs(oracle, count, rng))
-    if kind == "mixed":
-        return Workload(kind, mixed_pairs(n, count, rng, oracle))
-    raise GraphError(
-        f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
-    )
+        generators["adversarial"] = lambda: adversarial_pairs(
+            oracle, count, rng, **params
+        )
+    elif kind not in generators:
+        raise GraphError(
+            f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
+        )
+    try:
+        return Workload(kind, generators[kind]())
+    except TypeError as exc:
+        raise GraphError(f"invalid {kind!r} workload parameters: {exc}")
 
 
 @dataclass(frozen=True)

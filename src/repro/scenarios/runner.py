@@ -1,0 +1,458 @@
+"""Execute a scenario spec: graph, phases, matrix, assertions.
+
+One :func:`run_scenario` call covers the spec's whole execution matrix.
+Per cell (scheme x engine x tables) the runner walks the phase
+sequence once — materializing churn events against the current
+generation and evolving the network exactly like
+:func:`repro.runtime.churn.run_timeline` — then routes every phase
+once per ``jobs`` value and **verifies the summaries bit-identical
+across the jobs axis** before reporting a single merged summary with
+one :class:`~repro.runtime.traffic.EpochStretch` row per phase.
+
+Determinism contract: every random draw derives from the spec seed
+through tagged streams — ``{seed}|graph`` for the generator,
+``{seed}|churn|{i}`` for phase ``i``'s events (matching the churn
+module), ``{seed}|phase|{i}`` for its pairs — and every
+:func:`~repro.runtime.traffic.run_workload` call pins
+``shard_size=SCENARIO_SHARD_SIZE``, so the shard partition (hence the
+float summation order) never depends on the worker count.  The same
+spec therefore produces the same summary on any ``--jobs`` value, any
+executor, and any engine/table family the matrix declares equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.network import Network
+from repro.api.registry import get_spec
+from repro.exceptions import GraphError
+from repro.graph.digraph import Digraph
+from repro.graph.generators import (
+    asymmetric_torus,
+    bidirected_torus,
+    directed_cycle,
+    grid_with_shortcuts,
+    layered_random,
+    power_law_directed,
+    random_dht_overlay,
+    random_strongly_connected,
+    scale_free_directed,
+    snapshot_from_edgelist,
+)
+from repro.graph.shortest_paths import DistanceOracle
+from repro.runtime.churn import materialize_delta
+from repro.runtime.traffic import (
+    EpochStretch,
+    TrafficSummary,
+    Workload,
+    generate_workload,
+    run_workload,
+)
+from repro.scenarios.spec import (
+    SCHEMA,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    load_scenario,
+)
+
+#: Fixed pairs-per-shard for every scenario workload call.  Pinned —
+#: independent of the jobs axis — so the shard partition and float
+#: summation order are identical for any worker count, which is what
+#: makes the cross-``jobs`` bit-identity check meaningful.
+SCENARIO_SHARD_SIZE = 256
+
+#: comparison slack for stretch-vs-bound checks (matches the CLI)
+_EPS = 1e-9
+
+
+def build_scenario_graph(spec: ScenarioSpec) -> Digraph:
+    """Build the spec's graph deterministically from the spec seed.
+
+    Generator families draw from ``random.Random(f"{seed}|graph")``;
+    edgelist snapshots parse their rows (relative paths resolve
+    against the spec file's directory).
+
+    Raises:
+        ScenarioError: for generator parameters the family rejects.
+        GraphError: for malformed or non-strongly-connected edgelists.
+    """
+    g = spec.graph
+    rng = random.Random(f"{spec.seed}|graph")
+    if g.family == "edgelist":
+        if g.path is not None:
+            path = Path(g.path)
+            if not path.is_absolute() and spec.base_dir is not None:
+                path = Path(spec.base_dir) / path
+            return snapshot_from_edgelist(str(path), rng=rng)
+        text = "\n".join(
+            f"{t} {h} {w!r}" for t, h, w in g.edges
+        )
+        return snapshot_from_edgelist(text, rng=rng)
+    n = g.n or 0
+    side = max(2, int(round(n ** 0.5)))
+    layers = max(2, n // 8)
+    builders = {
+        "random": lambda: random_strongly_connected(n, rng=rng, **g.params),
+        "cycle": lambda: directed_cycle(n, rng=rng, **g.params),
+        "torus": lambda: bidirected_torus(side, side, rng=rng, **g.params),
+        "asym-torus": lambda: asymmetric_torus(
+            side, side, rng=rng, **g.params
+        ),
+        "dht": lambda: random_dht_overlay(n, rng=rng, **g.params),
+        "layered": lambda: layered_random(layers, 8, rng=rng, **g.params),
+        "scale-free": lambda: scale_free_directed(n, rng=rng, **g.params),
+        "power-law": lambda: power_law_directed(n, rng=rng, **g.params),
+        "grid-shortcuts": lambda: grid_with_shortcuts(
+            side, side, rng=rng, **g.params
+        ),
+    }
+    try:
+        return builders[g.family]()
+    except (TypeError, GraphError) as exc:
+        # TypeError: an unknown keyword; GraphError: a rejected value.
+        raise ScenarioError(
+            f"invalid {g.family!r} graph parameters: {exc}"
+        )
+
+
+def phase_workload(
+    phase: PhaseSpec,
+    index: int,
+    seed: int,
+    n: int,
+    oracle: Optional[DistanceOracle] = None,
+) -> Workload:
+    """The pair batch of one phase against an ``n``-vertex graph.
+
+    Generated kinds draw from ``random.Random(f"{seed}|phase|{index}")``;
+    trace phases replay their explicit pairs (range-checked here, so a
+    trace written for a bigger graph fails loudly).  Shared by the
+    offline runner and the serve daemon so both derive identical
+    traffic from one spec.
+    """
+    if phase.kind == "trace":
+        for s, t in phase.trace:
+            if not (0 <= s < n and 0 <= t < n):
+                raise ScenarioError(
+                    f"trace pair ({s}, {t}) is out of range for n={n}"
+                )
+        return Workload("trace", list(phase.trace))
+    return generate_workload(
+        phase.kind, n, phase.pairs,
+        rng=random.Random(f"{seed}|phase|{index}"),
+        oracle=oracle,
+        **phase.params,
+    )
+
+
+def summary_fingerprint(summary: TrafficSummary) -> Tuple[Any, ...]:
+    """Every deterministic field of a summary, with floats captured via
+    ``repr`` (bit-faithful).  Excludes only physical time
+    (``elapsed_s`` and the derived throughput) — two runs with equal
+    fingerprints print identical summaries modulo the throughput line.
+    """
+    return (
+        summary.kind,
+        summary.pairs,
+        repr(summary.total_cost),
+        summary.total_hops,
+        repr(summary.mean_cost),
+        repr(summary.mean_hops),
+        summary.max_hops,
+        summary.max_header_bits,
+        repr(summary.mean_stretch),
+        repr(summary.max_stretch),
+        summary.worst_pair,
+        tuple(
+            (
+                e.index, e.generation, e.pairs, e.events, e.repair,
+                repr(e.mean_stretch), repr(e.max_stretch), e.worst_pair,
+            )
+            for e in summary.epochs
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One matrix cell's outcome: the merged summary (identical for
+    every jobs value — verified), the scheme's claimed bound, the final
+    generation, and the evaluated assertion checks
+    ``(name, status, detail)`` with status pass/fail/skip."""
+
+    scheme: str
+    engine: str
+    tables: str
+    summary: TrafficSummary
+    bound: float
+    final_generation: int
+    checks: Tuple[Tuple[str, str, str], ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(status != "fail" for _, status, _ in self.checks)
+
+    def format(self) -> str:
+        """The cell's report block.  Deterministic apart from the
+        summary's ``throughput`` line (CI strips it before diffing)."""
+        lines = [
+            f"-- scheme={self.scheme} engine={self.engine} "
+            f"tables={self.tables} --",
+            self.summary.format(),
+            f"generations: 1 -> {self.final_generation}",
+        ]
+        for name, status, detail in self.checks:
+            line = f"assert {name:<18}: {status}"
+            if detail:
+                line += f" ({detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """The whole run: one :class:`CellResult` per matrix cell."""
+
+    spec: ScenarioSpec
+    cells: Tuple[CellResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def counts(self) -> Tuple[int, int, int]:
+        """``(passed, failed, skipped)`` across every cell's checks."""
+        passed = failed = skipped = 0
+        for cell in self.cells:
+            for _, status, _ in cell.checks:
+                if status == "pass":
+                    passed += 1
+                elif status == "fail":
+                    failed += 1
+                else:
+                    skipped += 1
+        return passed, failed, skipped
+
+    def format(self) -> str:
+        """The full report, as printed by ``repro scenario run``.
+        Deterministic apart from the per-cell throughput lines."""
+        spec = self.spec
+        if spec.graph.family == "edgelist":
+            graph = "edgelist"
+        else:
+            graph = f"{spec.graph.family} n={spec.graph.n}"
+        lines = [f"scenario   : {spec.name} ({SCHEMA}, seed {spec.seed})"]
+        if spec.summary:
+            lines.append(f"summary    : {spec.summary}")
+        lines += [
+            f"graph      : {graph}",
+            f"phases     : {len(spec.phases)} "
+            f"({spec.total_pairs} pairs, {spec.total_events} events)",
+            f"matrix     : {len(spec.matrix.schemes)} scheme(s) x "
+            f"{len(spec.matrix.engines)} engine(s) x "
+            f"{len(spec.matrix.tables)} table(s)",
+        ]
+        for cell in self.cells:
+            lines.append("")
+            lines.append(cell.format())
+        passed, failed, skipped = self.counts()
+        tail = f"assertions : {passed} passed, {failed} failed"
+        if skipped:
+            tail += f" ({skipped} skipped)"
+        lines.append("")
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+def _phase_plan(
+    spec: ScenarioSpec,
+    graph: Digraph,
+    engine: str,
+    tables: str,
+    store: Any,
+) -> List[Tuple[Network, Optional[Any], Workload]]:
+    """Walk the phases once: evolve through churn, generate each
+    phase's workload against its generation.  Returns
+    ``[(network, delta, workload), ...]`` — the chain is a pure
+    function of the spec, so every jobs value replays the same plan."""
+    net = Network(graph, seed=spec.seed, engine=engine, store=store,
+                  tables=tables)
+    plan: List[Tuple[Network, Optional[Any], Workload]] = []
+    for i, phase in enumerate(spec.phases):
+        delta = None
+        if phase.events:
+            delta = materialize_delta(
+                net.graph, phase.events,
+                random.Random(f"{spec.seed}|churn|{i}"),
+            )
+        if delta is not None:
+            net = net.evolve(delta)
+        workload = phase_workload(
+            phase, i, spec.seed, net.n, oracle=net.oracle()
+        )
+        plan.append((net, delta, workload))
+    return plan
+
+
+def _scheme_params(scheme: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """The matrix params the scheme's builder actually accepts."""
+    sspec = get_spec(scheme)
+    return {k: v for k, v in params.items() if sspec.accepts(k)}
+
+
+def _run_cell(
+    spec: ScenarioSpec,
+    graph: Digraph,
+    scheme: str,
+    engine: str,
+    tables: str,
+    jobs_axis: Tuple[int, ...],
+    store: Any,
+) -> CellResult:
+    plan = _phase_plan(spec, graph, engine, tables, store)
+    params = _scheme_params(scheme, spec.matrix.params)
+    bound = plan[0][0].stretch_bound(scheme, **params)
+    summaries = []
+    for jobs in jobs_axis:
+        parts = []
+        for i, (net, delta, workload) in enumerate(plan):
+            built = net.build_scheme(scheme, **params)
+            part = run_workload(
+                built, workload, oracle=net.oracle(), engine=engine,
+                shard_size=SCENARIO_SHARD_SIZE, jobs=jobs, tables=tables,
+            )
+            if delta is None:
+                repair = "none"
+            else:
+                rstats = net.stats().repair
+                repair = (
+                    "incremental"
+                    if rstats is not None and rstats.incremental
+                    else "rebuild"
+                )
+            row = EpochStretch(
+                index=i,
+                generation=net.generation,
+                pairs=part.pairs,
+                events=tuple(delta.op_names()) if delta is not None else (),
+                repair=repair,
+                mean_stretch=part.mean_stretch,
+                max_stretch=part.max_stretch,
+                worst_pair=part.worst_pair,
+            )
+            parts.append(replace(part, epochs=(row,)))
+        summaries.append(TrafficSummary.merge(parts))
+    fingerprints = {summary_fingerprint(s) for s in summaries}
+    if len(fingerprints) > 1:
+        raise ScenarioError(
+            f"scenario {spec.name!r}: summaries diverged across "
+            f"jobs={list(jobs_axis)} for scheme={scheme} engine={engine} "
+            f"tables={tables} — the determinism contract is broken"
+        )
+    summary = summaries[0]
+    final_generation = plan[-1][0].generation
+    checks = _evaluate(spec, summary, bound, final_generation)
+    return CellResult(
+        scheme=scheme,
+        engine=engine,
+        tables=tables,
+        summary=summary,
+        bound=bound,
+        final_generation=final_generation,
+        checks=tuple(checks),
+    )
+
+
+def _evaluate(
+    spec: ScenarioSpec,
+    summary: TrafficSummary,
+    bound: float,
+    final_generation: int,
+) -> List[Tuple[str, str, str]]:
+    """Evaluate the spec's assertions against one cell's summary.
+
+    Throughput details deliberately omit the measured value: check
+    lines must be bit-identical across ``--jobs`` runs, and physical
+    time is the one thing that is not.
+    """
+    a = spec.assertions
+    checks: List[Tuple[str, str, str]] = []
+    if a.stretch_within_bound:
+        if summary.pairs == 0 or math.isnan(summary.max_stretch):
+            checks.append(("stretch<=bound", "skip", "no measured stretch"))
+        elif summary.max_stretch <= bound + _EPS:
+            checks.append((
+                "stretch<=bound", "pass",
+                f"max {summary.max_stretch:.3f} <= {bound:.1f}",
+            ))
+        else:
+            checks.append((
+                "stretch<=bound", "fail",
+                f"max {summary.max_stretch:.3f} EXCEEDS {bound:.1f}",
+            ))
+    if a.max_stretch is not None:
+        name = f"stretch<={a.max_stretch:g}"
+        if summary.pairs == 0 or math.isnan(summary.max_stretch):
+            checks.append((name, "skip", "no measured stretch"))
+        elif summary.max_stretch <= a.max_stretch + _EPS:
+            checks.append((name, "pass", f"max {summary.max_stretch:.3f}"))
+        else:
+            checks.append((name, "fail", f"max {summary.max_stretch:.3f}"))
+    if a.min_pairs_per_s is not None:
+        name = f"pairs/s>={a.min_pairs_per_s:g}"
+        if math.isnan(summary.pairs_per_s):
+            checks.append((name, "skip", "unmeasurable"))
+        elif summary.pairs_per_s >= a.min_pairs_per_s:
+            checks.append((name, "pass", ""))
+        else:
+            checks.append((name, "fail", "below the declared floor"))
+    if a.expect_epochs is not None:
+        name = f"epochs=={a.expect_epochs}"
+        got = len(summary.epochs)
+        status = "pass" if got == a.expect_epochs else "fail"
+        checks.append((name, status, f"got {got}"))
+    if a.expect_generations is not None:
+        name = f"generations=={a.expect_generations}"
+        status = "pass" if final_generation == a.expect_generations else "fail"
+        checks.append((name, status, f"got {final_generation}"))
+    return checks
+
+
+def run_scenario(
+    source: Any,
+    jobs: Optional[int] = None,
+    store: Any = "auto",
+) -> ScenarioResult:
+    """Run a scenario end to end (see the module docstring).
+
+    Args:
+        source: anything :func:`~repro.scenarios.spec.load_scenario`
+            accepts — a path, JSON text, a dict, or a spec.
+        jobs: override the matrix's jobs axis with one value (the
+            ``--jobs`` flag; the summary is bit-identical either way —
+            that is the point).
+        store: forwarded to every :class:`~repro.api.Network`.
+
+    Raises:
+        ScenarioError: for malformed specs, or when summaries diverge
+            across the jobs axis (a determinism regression).
+    """
+    spec = load_scenario(source)
+    graph = build_scenario_graph(spec)
+    jobs_axis = (jobs,) if jobs is not None else spec.matrix.jobs
+    if any(j < 1 for j in jobs_axis):
+        raise ScenarioError(f"jobs must be >= 1, got {list(jobs_axis)}")
+    cells = []
+    for scheme in spec.matrix.schemes:
+        for engine in spec.matrix.engines:
+            for tables in spec.matrix.tables:
+                cells.append(_run_cell(
+                    spec, graph, scheme, engine, tables, jobs_axis, store,
+                ))
+    return ScenarioResult(spec=spec, cells=tuple(cells))

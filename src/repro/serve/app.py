@@ -198,10 +198,15 @@ class ServeApp:
         gen = self.lifecycle.admit()
         try:
             loop = asyncio.get_running_loop()
-            summary = await loop.run_in_executor(
-                None, gen.serve_workload, req.kind, req.count, req.seed,
-                scheme,
-            )
+            if req.scenario is not None:
+                summary = await loop.run_in_executor(
+                    None, gen.serve_scenario, req.scenario, scheme,
+                )
+            else:
+                summary = await loop.run_in_executor(
+                    None, gen.serve_workload, req.kind, req.count, req.seed,
+                    scheme,
+                )
             body = {"generation": gen.id, "summary": encode_summary(summary)}
             return body
         finally:

@@ -143,16 +143,32 @@ class ServeClient:
 
     def workload(
         self,
-        kind: str,
-        count: int,
+        kind: Optional[str] = None,
+        count: int = 0,
         seed: int = 0,
         scheme: Optional[str] = None,
+        scenario: Any = None,
     ) -> Tuple[int, TrafficSummary]:
-        """Generate and route a named workload daemon-side; returns
+        """Generate and route a workload daemon-side; returns
         ``(generation, summary)`` with the summary decoded back into a
         :class:`TrafficSummary` (its ``format()`` matches the offline
-        ``repro traffic`` block)."""
-        req = WorkloadRequest(kind=kind, count=count, seed=seed, scheme=scheme)
+        ``repro traffic`` block).
+
+        Pass either ``kind``/``count``/``seed`` (a named workload) or
+        ``scenario`` — a ``repro-scenario/1`` spec, file path, or
+        document — to replay the spec's phase sequence against the
+        daemon's loaded graph (event-carrying specs are rejected)."""
+        if scenario is not None:
+            from repro.scenarios import load_scenario
+
+            spec = load_scenario(scenario)
+            req = WorkloadRequest(scheme=scheme, scenario=spec.to_doc())
+        else:
+            if kind is None:
+                raise ProtocolError("workload needs a kind or a scenario")
+            req = WorkloadRequest(
+                kind=kind, count=count, seed=seed, scheme=scheme
+            )
         doc = self._request("POST", "/workload", req.to_doc())
         summary_doc = doc.get("summary")
         if not isinstance(summary_doc, dict):

@@ -141,6 +141,51 @@ class Generation:
         )
         return self.router(scheme).serve_workload(workload)
 
+    def serve_scenario(
+        self, doc: Dict[str, Any], scheme: str
+    ) -> TrafficSummary:
+        """Replay a ``repro-scenario/1`` spec's phase sequence against
+        this snapshot (worker thread).
+
+        Phase pairs derive exactly as the offline runner's
+        (:func:`repro.scenarios.phase_workload` with the spec seed);
+        each phase routes with the runner's fixed shard size and the
+        per-phase summaries merge in order, so the served summary is
+        deterministic from the spec.  Event-carrying specs were already
+        rejected at request-parse time; trace pairs are range-checked
+        against this graph.
+
+        Raises:
+            ProtocolError: for trace pairs out of range, or phase
+                parameters the generator rejects.
+        """
+        from repro.exceptions import GraphError
+        from repro.scenarios import (
+            SCENARIO_SHARD_SIZE,
+            ScenarioSpec,
+            phase_workload,
+        )
+
+        spec = ScenarioSpec.from_doc(doc)
+        router = self.router(scheme)
+        parts = []
+        for i, phase in enumerate(spec.phases):
+            if phase.kind == "trace":
+                self.check_pairs(phase.trace)
+            try:
+                workload = phase_workload(
+                    phase, i, spec.seed, self.network.n,
+                    oracle=self.network.oracle(),
+                )
+            except GraphError as exc:
+                raise ProtocolError(f"phases[{i}]: {exc}")
+            parts.append(
+                router.serve_workload(
+                    workload, shard_size=SCENARIO_SHARD_SIZE
+                )
+            )
+        return TrafficSummary.merge(parts)
+
     def session_stats(self) -> SessionStats:
         """Consolidated network + router statistics."""
         return SessionStats.collect(self.network, self.routers())

@@ -196,21 +196,53 @@ class RouteManyRequest:
 
 @dataclass(frozen=True)
 class WorkloadRequest:
-    """``POST /workload``: generate and route a named workload.
+    """``POST /workload``: generate and route a workload.
 
-    The daemon derives the pair sequence exactly as ``repro traffic``
-    does (``random.Random(seed + 3)`` against the loaded graph), so a
-    served summary diffs bit-identically against the offline CLI run
-    with the same parameters.
+    Two mutually exclusive forms:
+
+    * **named** — ``kind``/``count``/``seed``: the daemon derives the
+      pair sequence exactly as ``repro traffic`` does
+      (``random.Random(seed + 3)`` against the loaded graph), so a
+      served summary diffs bit-identically against the offline CLI run
+      with the same parameters;
+    * **scenario** — a full ``repro-scenario/1`` document
+      (``{"scenario": {...}}``): the daemon replays the spec's phase
+      sequence (seeded per phase, same derivation as ``repro scenario
+      run``) against its *own* loaded graph and default scheme — the
+      spec's ``graph`` and ``matrix`` blocks do not apply to a live
+      daemon.  Phases carrying churn ``events`` are rejected with 400:
+      the daemon's topology only mutates through ``/reload``.
     """
 
-    kind: str
-    count: int
+    kind: Optional[str] = None
+    count: int = 0
     seed: int = 0
     scheme: Optional[str] = None
+    scenario: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_doc(cls, doc: Mapping[str, Any]) -> "WorkloadRequest":
+        scheme = _optional_str(doc, "scheme")
+        scenario = doc.get("scenario")
+        if scenario is not None:
+            from repro.scenarios import ScenarioError, ScenarioSpec
+
+            for forbidden in ("kind", "count"):
+                if doc.get(forbidden) is not None:
+                    raise ProtocolError(
+                        "pass either 'scenario' or 'kind'/'count', not both"
+                    )
+            try:
+                spec = ScenarioSpec.from_doc(scenario)
+            except ScenarioError as exc:
+                raise ProtocolError(f"malformed scenario: {exc}")
+            if spec.total_events:
+                raise ProtocolError(
+                    "scenario workloads must not carry churn events (the "
+                    "daemon's topology only mutates through /reload); "
+                    "remove the phase 'events'"
+                )
+            return cls(scheme=scheme, scenario=spec.to_doc())
         kind = _optional_str(doc, "kind")
         if kind is None:
             raise ProtocolError("field 'kind' is required")
@@ -227,16 +259,17 @@ class WorkloadRequest:
             kind=kind,
             count=count,
             seed=0 if seed is None else seed,
-            scheme=_optional_str(doc, "scheme"),
+            scheme=scheme,
         )
 
     def to_doc(self) -> Dict[str, Any]:
-        doc: Dict[str, Any] = {
-            "schema": SCHEMA,
-            "kind": self.kind,
-            "count": self.count,
-            "seed": self.seed,
-        }
+        doc: Dict[str, Any] = {"schema": SCHEMA}
+        if self.scenario is not None:
+            doc["scenario"] = self.scenario
+        else:
+            doc["kind"] = self.kind
+            doc["count"] = self.count
+            doc["seed"] = self.seed
         if self.scheme is not None:
             doc["scheme"] = self.scheme
         return doc
